@@ -1,0 +1,37 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's §3 and
+prints the same rows/series the paper reports, then asserts the
+*qualitative shape* (who wins, directions of trends).  Absolute numbers
+are not expected to match: the substrate is our simulator, not the
+authors' (unreleased) one.
+
+Scale is controlled by the ``REPRO_PRESET`` environment variable:
+``quick`` (default; ~10x smaller workload, same shapes) or ``paper``
+(N=40, 100 pairs, 2000 transmissions as in §3).
+"""
+
+import os
+
+import pytest
+
+
+def preset() -> str:
+    value = os.environ.get("REPRO_PRESET", "quick")
+    if value not in ("quick", "paper"):
+        raise ValueError(f"REPRO_PRESET must be 'quick' or 'paper', got {value!r}")
+    return value
+
+
+def n_seeds() -> int:
+    return int(os.environ.get("REPRO_SEEDS", "3" if preset() == "quick" else "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_preset():
+    return preset()
+
+
+@pytest.fixture(scope="session")
+def bench_seeds():
+    return n_seeds()

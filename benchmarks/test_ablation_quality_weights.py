@@ -1,0 +1,65 @@
+"""Ablation: the (w_s, w_a) edge-quality weights (§2.3).
+
+The paper: "A high value of w_a signifies a higher importance to the
+availability of the forwarders ... A high value of w_s on the other hand
+signifies higher importance for past history."  We sweep w_s from 0
+(availability only) to 1 (history only) and confirm the mechanism is not
+degenerate: any utility-weighted mix beats random routing on forwarder-set
+size, and history-aware settings (w_s > 0) beat the pure-availability
+corner on per-series reuse.
+"""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_replicates
+
+WS_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _avg_set_size(ws: float, preset: str, n_seeds: int) -> float:
+    cfg = ExperimentConfig(
+        n_pairs=10 if preset == "quick" else 100,
+        total_transmissions=200 if preset == "quick" else 2000,
+        strategy="utility-I",
+        weight_selectivity=ws,
+        weight_availability=1.0 - ws,
+    )
+    runs = run_replicates(cfg, n_seeds)
+    return float(np.mean([r.average_forwarder_set_size() for r in runs]))
+
+
+def test_ablation_quality_weights(benchmark, bench_preset, bench_seeds):
+    def run():
+        return {ws: _avg_set_size(ws, bench_preset, bench_seeds) for ws in WS_VALUES}
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cfg = ExperimentConfig(
+        n_pairs=10 if bench_preset == "quick" else 100,
+        total_transmissions=200 if bench_preset == "quick" else 2000,
+        strategy="random",
+    )
+    random_size = float(
+        np.mean(
+            [r.average_forwarder_set_size() for r in run_replicates(cfg, bench_seeds)]
+        )
+    )
+
+    print()
+    rows = [[f"{ws:.2f}", f"{1-ws:.2f}", f"{sizes[ws]:.2f}"] for ws in WS_VALUES]
+    rows.append(["random", "-", f"{random_size:.2f}"])
+    print(
+        format_table(
+            ["w_s", "w_a", "avg forwarder set"],
+            rows,
+            title="Ablation: edge-quality weights (utility model I)",
+        )
+    )
+
+    # Every weighted mix outperforms random routing.
+    assert all(s < random_size for s in sizes.values())
+    # History awareness helps reuse: the best history-aware setting beats
+    # the pure-availability corner.
+    assert min(sizes[ws] for ws in WS_VALUES if ws > 0) <= sizes[0.0]

@@ -1,0 +1,100 @@
+"""Headline claim (abstract, §3): "the quality of anonymity is maintained"
+under high churn and in the presence of malicious nodes.
+
+We quantify the claim with two measurements per condition:
+
+- **path quality** ``Q(pi) = L / ||pi||`` (§2.1) — the mechanism's own
+  anonymity proxy (a small, reused forwarder set);
+- **intersection-attack anonymity degree** — mount the §2.1 attack on
+  every (I, R) pair's actual round times and report the normalised
+  entropy of the surviving candidate set (1 = nothing learned).
+
+Conditions: baseline, hostile population (f = 0.5), high churn (15-min
+median sessions) with *exogenous* uptime, and high churn with the
+**incentive→availability coupling** switched on (earning forwarders stay
+online longer — the paper's §1 thesis).  Strategy utility-I vs random.
+
+The expected story: against adversaries the mechanism holds anonymity on
+its own; against heavy churn, routing alone cannot save a global-observer
+intersection attack — it is the *availability* side of the incentive
+(longer sessions for earners) that restores the anonymity set, exactly
+the division of labour the paper's two benefit components encode.
+"""
+
+import numpy as np
+
+from repro.experiments.config import ChurnConfig, ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_replicates
+
+HIGH_CHURN = dict(session_median=15.0, offtime_mean=15.0)
+
+CONDITIONS = {
+    "baseline": dict(),
+    "f=0.5": dict(malicious_fraction=0.5),
+    "churn (exogenous)": dict(churn=ChurnConfig(**HIGH_CHURN)),
+    "churn + incentive": dict(
+        churn=ChurnConfig(incentive_coupling=6.0, **HIGH_CHURN)
+    ),
+}
+
+
+def _measure(strategy: str, overrides: dict, preset: str, n_seeds: int):
+    cfg = ExperimentConfig(
+        n_pairs=10 if preset == "quick" else 100,
+        total_transmissions=200 if preset == "quick" else 2000,
+        strategy=strategy,
+        **overrides,
+    )
+    q, degree, exposure = [], [], []
+    for r in run_replicates(cfg, n_seeds):
+        q.append(r.average_path_quality())
+        a = r.intersection_anonymity()
+        degree.append(a["mean_anonymity_degree"])
+        exposure.append(a["exposure_rate"])
+    return float(np.mean(q)), float(np.mean(degree)), float(np.mean(exposure))
+
+
+def test_anonymity_quality_maintained(benchmark, bench_preset, bench_seeds):
+    def run():
+        out = {}
+        for name, overrides in CONDITIONS.items():
+            out[name] = {
+                s: _measure(s, overrides, bench_preset, bench_seeds)
+                for s in ("utility-I", "random")
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for name, per_strategy in results.items():
+        for s, (q, degree, exposure) in per_strategy.items():
+            rows.append([name, s, f"{q:.3f}", f"{degree:.2f}", f"{exposure:.2f}"])
+    print(
+        format_table(
+            ["condition", "strategy", "Q(pi)", "anonymity degree", "exposure rate"],
+            rows,
+            title="Quality of anonymity under churn and adversaries",
+        )
+    )
+    # The mechanism's path quality beats random routing everywhere.
+    for name, per_strategy in results.items():
+        q_u = per_strategy["utility-I"][0]
+        q_r = per_strategy["random"][0]
+        assert q_u > q_r, f"{name}: Q(pi) {q_u} !> {q_r}"
+
+    # Adversaries alone do not break the intersection anonymity.
+    _q, degree, exposure = results["f=0.5"]["utility-I"]
+    assert degree > 0.5 and exposure < 0.25
+
+    # Heavy exogenous churn DOES break it (routing cannot fix a shrinking
+    # online population)...
+    _q, degree_exo, exposure_exo = results["churn (exogenous)"]["utility-I"]
+    # ...and the incentive->availability coupling substantially restores it
+    # - the abstract's "quality of anonymity is maintained" claim.
+    _q, degree_inc, exposure_inc = results["churn + incentive"]["utility-I"]
+    assert degree_inc > degree_exo + 0.15, (
+        f"coupling did not restore anonymity: {degree_exo} -> {degree_inc}"
+    )
+    assert exposure_inc < exposure_exo

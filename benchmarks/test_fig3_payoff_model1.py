@@ -1,0 +1,33 @@
+"""Figure 3: average payoff for a non-malicious node — Utility Model I.
+
+Paper shape: the average payoff decreases as the fraction ``f`` of
+adversarial (randomly routing) nodes grows, because random routing
+inflates the forwarder set and dilutes both the shared routing benefit
+and each member's forwarding-instance count.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure3
+from repro.experiments.reporting import render_payoff_vs_fraction
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig3_payoff_vs_fraction_model1(benchmark, bench_preset, bench_seeds):
+    fig = benchmark.pedantic(
+        figure3,
+        kwargs=dict(fractions=FRACTIONS, preset=bench_preset, n_seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_payoff_vs_fraction(fig, "Figure 3"))
+
+    means = np.asarray(fig.means)
+    assert np.all(means > 0)
+    # Shape: payoff at low f clearly exceeds payoff at high f.
+    assert means[0] > means[-1]
+    # Overall decreasing trend (least-squares slope negative).
+    slope = np.polyfit(fig.fractions, means, 1)[0]
+    assert slope < 0

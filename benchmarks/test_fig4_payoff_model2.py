@@ -1,0 +1,29 @@
+"""Figure 4: average payoff for a non-malicious node — Utility Model II.
+
+Paper shape: same declining trend as Figure 3 ("Both utility models
+exhibit similar nature"), with appreciably high payoff at low ``f``.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import render_payoff_vs_fraction
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig4_payoff_vs_fraction_model2(benchmark, bench_preset, bench_seeds):
+    fig = benchmark.pedantic(
+        figure4,
+        kwargs=dict(fractions=FRACTIONS, preset=bench_preset, n_seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_payoff_vs_fraction(fig, "Figure 4"))
+
+    means = np.asarray(fig.means)
+    assert np.all(means > 0)
+    assert means[0] > means[-1]
+    slope = np.polyfit(fig.fractions, means, 1)[0]
+    assert slope < 0

@@ -1,0 +1,39 @@
+"""Figure 5: average size of the forwarder set under different routing
+strategies, for varying fractions of malicious nodes.
+
+Paper shape: "Both utility models I and II appreciably outperform random
+routing" — the utility strategies maintain a much smaller forwarder set
+at every ``f``; set sizes grow with ``f`` for the utility strategies
+(adversaries route randomly and scatter paths).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import render_forwarder_sets
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig5_forwarder_set_by_strategy(benchmark, bench_preset, bench_seeds):
+    fig = benchmark.pedantic(
+        figure5,
+        kwargs=dict(fractions=FRACTIONS, preset=bench_preset, n_seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_forwarder_sets(fig))
+
+    random_sizes = np.asarray(fig.series["random"])
+    u1 = np.asarray(fig.series["utility-I"])
+    u2 = np.asarray(fig.series["utility-II"])
+
+    # Headline: utility routing beats random at every fraction.
+    assert np.all(u1 < random_sizes)
+    assert np.all(u2 < random_sizes)
+    # At low f the gap is large (paper: "appreciably outperform").
+    assert u1[0] < 0.8 * random_sizes[0]
+    # Utility set sizes grow as adversaries take over the population.
+    assert u1[-1] > u1[0]
+    assert u2[-1] > u2[0]

@@ -1,0 +1,31 @@
+"""Figure 6: CDF of payoff for good nodes when f = 0.1.
+
+Paper shapes: "the maximum payoff is highest in the case of Utility I";
+"the payoff distribution has the maximum variance in the case of model I.
+In comparison random routing shows a much smaller variance"; models I and
+II have similar average payoffs.
+"""
+
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import render_payoff_cdf
+
+
+def test_fig6_payoff_cdf_f01(benchmark, bench_preset, bench_seeds):
+    fig = benchmark.pedantic(
+        figure6,
+        kwargs=dict(preset=bench_preset, n_seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_payoff_cdf(fig, "Figure 6"))
+
+    stats = fig.stats()
+    # Max payoff: utility-I tops random (the paper's headline for fig 6).
+    assert stats["utility-I"]["max"] > stats["random"]["max"]
+    # Variance: both utility models exceed random routing's.
+    assert stats["utility-I"]["std"] > stats["random"]["std"]
+    assert stats["utility-II"]["std"] > stats["random"]["std"]
+    # Means of the two utility models are similar (within 35%).
+    m1, m2 = stats["utility-I"]["mean"], stats["utility-II"]["mean"]
+    assert abs(m1 - m2) / max(m1, m2) < 0.35

@@ -1,0 +1,25 @@
+"""Figure 7: CDF of payoff for good nodes when f = 0.5.
+
+Same qualitative shapes as Figure 6, at a hostile 50% adversary
+fraction: skewed high-variance payoffs under the utility models, a tight
+distribution under random routing.
+"""
+
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import render_payoff_cdf
+
+
+def test_fig7_payoff_cdf_f05(benchmark, bench_preset, bench_seeds):
+    fig = benchmark.pedantic(
+        figure7,
+        kwargs=dict(preset=bench_preset, n_seeds=bench_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_payoff_cdf(fig, "Figure 7"))
+
+    stats = fig.stats()
+    assert stats["utility-I"]["max"] > stats["random"]["max"]
+    assert stats["utility-I"]["std"] > stats["random"]["std"]
+    assert stats["utility-II"]["std"] > stats["random"]["std"]

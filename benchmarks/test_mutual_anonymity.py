@@ -1,0 +1,92 @@
+"""Extension experiment: the price of responder anonymity.
+
+Mutual anonymity (rendezvous splicing, related work [28]) doubles the
+infrastructure each round consumes: two half-paths, two settlements.
+This benchmark quantifies the overhead against initiator-only anonymity
+on the same overlay — path length, payment outlay, and the anonymity
+property itself (no node adjacent to both endpoints, ever).
+"""
+
+import numpy as np
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
+from repro.core.rendezvous import MutualConnection, RendezvousRegistry
+from repro.core.routing import UtilityModelI
+from repro.experiments.reporting import format_table
+from repro.network.overlay import Overlay
+from repro.sim.rng import RandomStreams
+
+ROUNDS = 15
+N = 30
+
+
+def run_pair(seed: int):
+    streams = RandomStreams(seed)
+    ov = Overlay(rng=streams["overlay"], degree=5)
+    ov.bootstrap(N)
+    builder = PathBuilder(
+        overlay=ov,
+        cost_model=CostModel(),
+        histories={nid: HistoryProfile(nid) for nid in ov.nodes},
+        rng=streams["routing"],
+        good_strategy=UtilityModelI(),
+        termination=TerminationPolicy.crowds(0.6),
+    )
+    contract = Contract.from_tau(75.0, 2.0)
+
+    base = ConnectionSeries(
+        cid=500, initiator=0, responder=N - 1, contract=contract, builder=builder
+    )
+    base.run(ROUNDS)
+    base_len = base.log.average_length()
+    base_cost = sum(base.settlement().values())
+
+    registry = RendezvousRegistry(overlay=ov, rng=streams["rendezvous"])
+    registry.register(N - 1, "svc")
+    mutual = MutualConnection(
+        registry=registry, builder=builder, cid=1, initiator=0,
+        pseudonym="svc", contract=contract,
+    )
+    for _ in range(ROUNDS):
+        mutual.run_round()
+    i_pay, r_pay = mutual.settlements()
+    mutual_len = float(np.mean([mp.total_length for mp in mutual.paths]))
+    mutual_cost = sum(i_pay.values()) + sum(r_pay.values())
+    anonymous = all(mp.mutually_anonymous() for mp in mutual.paths)
+    return base_len, base_cost, mutual_len, mutual_cost, anonymous
+
+
+def test_mutual_anonymity_overhead(benchmark, bench_seeds):
+    def run():
+        rows = [run_pair(s) for s in range(bench_seeds)]
+        return tuple(
+            float(np.mean([r[i] for r in rows])) for i in range(4)
+        ) + (all(r[4] for r in rows),)
+
+    base_len, base_cost, mutual_len, mutual_cost, anonymous = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["mode", "avg path length", "series outlay"],
+            [
+                ["initiator-only", f"{base_len:.2f}", f"{base_cost:.0f}"],
+                ["mutual (rendezvous)", f"{mutual_len:.2f}", f"{mutual_cost:.0f}"],
+                [
+                    "overhead",
+                    f"{mutual_len / base_len:.2f}x",
+                    f"{mutual_cost / base_cost:.2f}x",
+                ],
+            ],
+            title=f"Price of responder anonymity ({ROUNDS}-round series)",
+        )
+    )
+    # Mutual anonymity holds on every round...
+    assert anonymous
+    # ...and costs roughly double (two halves), not more than ~3x.
+    assert 1.5 < mutual_len / base_len < 3.5
+    assert 1.5 < mutual_cost / base_cost < 3.5

@@ -1,0 +1,34 @@
+"""Performance benchmark: simulator throughput.
+
+Unlike the figure/table regenerators (which use ``pedantic`` single
+runs), this benchmark times a standard scenario properly over several
+rounds, so regressions in the routing hot path (edge scoring, probing,
+heap churn) show up in CI history.  The workload is a mid-size slice of
+the §3 configuration.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import run_scenario
+
+CFG = ExperimentConfig(
+    seed=123,
+    n_nodes=40,
+    n_pairs=25,
+    total_transmissions=500,
+    strategy="utility-I",
+    use_bank=False,  # time the simulation core, not RSA
+)
+
+
+def test_perf_scenario_throughput(benchmark):
+    result = benchmark(run_scenario, CFG)
+    # Guard against silent workload shrinkage making the timing
+    # meaningless: the run must actually have done the work.
+    completed = sum(s.rounds_completed for s in result.series_stats)
+    assert completed >= 0.9 * CFG.n_pairs * CFG.rounds_per_pair
+
+
+def test_perf_scenario_with_bank(benchmark):
+    cfg = CFG.with_overrides(use_bank=True)
+    result = benchmark.pedantic(run_scenario, args=(cfg,), rounds=3, iterations=1)
+    assert result.bank_audit_ok

@@ -1,0 +1,39 @@
+"""Table 2: routing efficiency for Utility Model I.
+
+Grid f in {0.1, 0.5, 0.9} x tau in {0.5, 1, 2, 4}.  Paper shapes:
+efficiency falls steeply as f grows (409 -> 85 for tau = 0.5), and the
+mean over f tends to rise with tau ("a high value of tau tends to
+increase the routing efficiency").
+"""
+
+import numpy as np
+
+from repro.experiments.tables import PAPER_FRACTIONS, PAPER_TAUS, table2
+from repro.experiments.reporting import render_table2
+
+
+def test_table2_routing_efficiency(benchmark, bench_preset, bench_seeds):
+    result = benchmark.pedantic(
+        table2,
+        kwargs=dict(
+            fractions=PAPER_FRACTIONS,
+            taus=PAPER_TAUS,
+            preset=bench_preset,
+            n_seeds=bench_seeds,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table2(result))
+
+    # Row shape: every tau column declines steeply from f=0.1 to f=0.9.
+    for tau in PAPER_TAUS:
+        top, bottom = result.cells[(0.1, tau)], result.cells[(0.9, tau)]
+        assert top > bottom, f"tau={tau}: {top} !> {bottom}"
+        assert top / max(bottom, 1e-9) > 1.5  # paper's ratio is ~3.3-5.4
+
+    # Column shape: mean efficiency at the largest tau exceeds the mean at
+    # the smallest (the paper's "high tau increases routing efficiency").
+    means = result.column_means()
+    assert means[4.0] > means[0.5] * 0.95  # allow noise but forbid inversion

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Contract planning: how an initiator should pick P_f and P_r (§2.2).
+
+The initiator's utility (eq. 2) trades anonymity — which improves with a
+small forwarder set — against what it pays.  The planner probes a grid
+of (P_f, tau) contracts with calibration simulations and ranks them by
+realised initiator utility, exposing the economics:
+
+- **starved** contracts violate Proposition 3's participation condition
+  (``P_f > C_p + C_t``): forwarders decline, paths fail, anonymity is
+  worthless;
+- **lavish** contracts form the same paths at strictly higher cost;
+- the optimum is interior, and shifts with the anonymity requirement
+  (the scale of A(.)).
+
+Run:  python examples/contract_planning.py
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.planner import plan_contract
+from repro.experiments.reporting import format_table
+
+PF_GRID = (1.0, 5.0, 20.0, 75.0, 300.0)
+TAU_GRID = (0.5, 2.0)
+BASE = ExperimentConfig(n_pairs=8, total_transmissions=120, use_bank=False)
+
+
+def main() -> None:
+    print("=== Initiator contract planning (eq. 2) ===")
+    for scale, label in ((10_000.0, "modest"), (100_000.0, "strict")):
+        result = plan_contract(
+            PF_GRID, TAU_GRID, base=BASE, anonymity_scale=scale, n_seeds=2
+        )
+        print(
+            format_table(
+                ["P_f", "tau", "||pi||", "outlay", "failed", "U_I"],
+                [p.row() for p in result.ranked()],
+                title=(
+                    f"\nanonymity requirement: {label} "
+                    f"(A(1) = {scale:,.0f} currency units)"
+                ),
+            )
+        )
+        best = result.best
+        print(f"-> chosen contract: P_f = {best.pf:.0f}, tau = {best.tau:g}")
+    print(
+        "\nCompare the two rankings: with a modest requirement, anything\n"
+        "beyond P_f=5 already loses money and even the failing P_f=1\n"
+        "contract ranks near the top (anonymity is cheap to give up).\n"
+        "With a strict requirement the expensive contracts (P_f=20, 75)\n"
+        "become acceptable and the failing contract falls far behind -\n"
+        "'depending on its anonymity requirements, the initiator can\n"
+        "select appropriate values for P_f and P_r' (S2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Defence evaluation: guards, cid rotation, incentive-coupled uptime.
+
+Runs the full workload four ways and reports, for each, the three
+security metrics the attack modules expose plus the mechanism's own
+path-quality score:
+
+1. no defences (baseline);
+2. guard nodes (pins each initiator's first hop);
+3. cid rotation (fresh wire identifiers every 4 rounds);
+4. incentive-coupled availability under heavy churn (the paper's §1
+   thesis: earning forwarders stay online, preserving the anonymity set).
+
+Run:  python examples/defense_evaluation.py
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, run_scenario
+from repro.experiments.config import ChurnConfig
+from repro.experiments.reporting import format_table
+
+WORKLOAD = dict(n_pairs=12, total_transmissions=240, seed=5)
+HEAVY_CHURN = dict(session_median=15.0, offtime_mean=15.0)
+
+
+def measure(name: str, **overrides):
+    cfg = ExperimentConfig(**WORKLOAD).with_overrides(**overrides)
+    result = run_scenario(cfg)
+    attack = result.intersection_anonymity()
+    return [
+        name,
+        f"{result.average_path_quality():.3f}",
+        f"{attack['mean_anonymity_degree']:.2f}",
+        f"{attack['exposure_rate']:.2f}",
+        f"{result.average_forwarder_set_size():.1f}",
+    ]
+
+
+def main() -> None:
+    print("=== Defence evaluation ===\n")
+    rows = [
+        measure("baseline"),
+        measure("guard nodes", use_guards=True),
+        measure("cid rotation (e=4)", cid_rotation_epoch=4),
+        measure("heavy churn, exogenous", churn=ChurnConfig(**HEAVY_CHURN)),
+        measure(
+            "heavy churn + incentive uptime",
+            churn=ChurnConfig(incentive_coupling=6.0, **HEAVY_CHURN),
+        ),
+    ]
+    print(
+        format_table(
+            ["configuration", "Q(pi)", "anonymity degree", "exposure", "||pi||"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the results: guards and rotation are cheap (path quality\n"
+        "and forwarder set barely move); the intersection attack is driven\n"
+        "by availability, which only the incentive coupling can repair -\n"
+        "compare the two heavy-churn rows.  This is the paper's division of\n"
+        "labour: P_f buys availability, P_r buys routing discipline."
+    )
+
+
+if __name__ == "__main__":
+    main()

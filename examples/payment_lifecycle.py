@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Payment walkthrough: blinded withdrawal, escrow, settlement, fraud.
+
+Shows the full life of one connection series' money, at the protocol
+level:
+
+1. the initiator withdraws bearer tokens via **blind signatures** (the
+   bank signs values it cannot later link to the deposit);
+2. the tokens fund the series **escrow** anonymously;
+3. forwarders submit claims; one of them lies;
+4. the initiator's validated path information drives **settlement**; the
+   inflated claim is caught, the honest amounts are paid, the remainder
+   comes back as fresh tokens;
+5. a double-spend and a forgery attempt both bounce;
+6. the ledger audit confirms no value appeared or vanished.
+
+Run:  python examples/payment_lifecycle.py
+"""
+
+import numpy as np
+
+from repro.core.contracts import Contract
+from repro.payment import Bank, SeriesEscrow
+from repro.payment.fraud import double_spend_attempt, forgery_attempt
+
+INITIATOR, HONEST, CHEATER = 0, 5, 6
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    bank = Bank(rng=rng, denominations=tuple(2**k for k in range(12)), key_bits=128)
+    bank.open_account(INITIATOR, endowment=10_000.0)
+    bank.open_account(HONEST)
+    bank.open_account(CHEATER)
+
+    print("=== 1. blinded withdrawal ===")
+    tokens = bank.withdraw(INITIATOR, 100.0)
+    print(f"withdrew {len(tokens)} tokens totalling "
+          f"{sum(t.denomination for t in tokens):.0f} units")
+    print("the bank saw only blinded values - serials below are unknown to it:")
+    for t in tokens[:3]:
+        print(f"  serial={t.serial.hex()[:16]}... denom={t.denomination:.0f}")
+
+    print("\n=== 2. escrow funding and claims ===")
+    contract = Contract(forwarding_benefit=10.0, routing_benefit=40.0)
+    # Ground truth from the initiator's reverse-path validation:
+    validated_instances = {HONEST: 6, CHEATER: 2}
+    union_size = len(validated_instances)
+    payments = {
+        node: contract.forwarder_payment(m, union_size)
+        for node, m in validated_instances.items()
+    }
+    budget = sum(payments.values())
+    escrow = SeriesEscrow(
+        bank=bank, escrow_id=1, initiator_account=INITIATOR, budget=budget
+    )
+    funded = escrow.open()
+    print(f"escrow funded with {funded:.0f} units (budget {budget:.0f})")
+
+    escrow.submit_claim(HONEST, instances=6)   # honest
+    escrow.submit_claim(CHEATER, instances=9)  # inflated! really 2
+    print("claims submitted: honest=6 instances, cheater=9 (actually 2)")
+
+    print("\n=== 3. settlement ===")
+    paid = escrow.settle(payments, validated_instances=validated_instances)
+    for node, amount in paid.items():
+        tag = "CHEATER" if node == CHEATER else "honest"
+        print(f"  node {node} ({tag}): paid {amount:.1f}")
+    print(f"rejected claims: {escrow.rejected_claims}")
+    print(f"refund to initiator: {escrow.refund_value():.0f} units in fresh tokens")
+    print(f"bank fraud log: {bank.fraud_log}")
+
+    print("\n=== 4. token-level attacks ===")
+    spare = bank.withdraw(INITIATOR, 4.0)
+    ds = double_spend_attempt(bank, CHEATER, spare[0])
+    print(f"double spend detected: {ds.detected} ({ds.detail})")
+    fg = forgery_attempt(bank, CHEATER, rng)
+    print(f"forgery detected:      {fg.detected} ({fg.detail})")
+
+    print("\n=== 5. the books balance ===")
+    print(f"initiator balance: {bank.balance(INITIATOR):.1f}")
+    print(f"honest forwarder:  {bank.balance(HONEST):.1f}")
+    print(f"cheater:           {bank.balance(CHEATER):.1f}")
+    print(f"ledger audit passes: {bank.audit()}")
+
+
+if __name__ == "__main__":
+    main()

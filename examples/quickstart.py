@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: run one incentive-driven anonymity simulation.
+
+Builds the paper's §3 world at a reduced scale — a churned P2P overlay,
+Crowds-style forwarding, the Utility-Model-I incentive mechanism, and the
+bank-backed payment system — runs it end-to-end, and prints the headline
+metrics next to a random-routing baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import ExperimentConfig, run_scenario
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        seed=7,
+        n_nodes=40,          # paper population
+        malicious_fraction=0.1,
+        n_pairs=25,          # scaled-down workload (paper: 100)
+        total_transmissions=500,  # paper: 2000
+        tau=2.0,
+    )
+
+    print("=== Incentive-driven P2P anonymity: quickstart ===\n")
+    for strategy in ("utility-I", "utility-II", "random"):
+        result = run_scenario(base.with_overrides(strategy=strategy))
+        print(result.summary())
+        print(
+            f"  per-series good-node payoff: "
+            f"{result.average_good_series_payoff():.1f}\n"
+        )
+
+    print(
+        "Reading the results: the utility models keep the forwarder set\n"
+        "(||pi||, the union of forwarders across a pair's recurring\n"
+        "connections) much smaller than random routing - the property that\n"
+        "defends recurring connections against intersection attacks - while\n"
+        "paying forwarders comparably.  See benchmarks/ to regenerate every\n"
+        "figure and table from the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

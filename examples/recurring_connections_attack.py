@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Attack study: intersection + predecessor attacks on recurring traffic.
+
+The paper's motivation (§2.1): applications with recurring connections
+(HTTP, FTP, NNTP) are vulnerable to intersection attacks, and churn-driven
+path reformations make them worse.  This example runs the same recurring
+workload under random routing and under the incentive mechanism, then
+mounts two attacks against each run:
+
+1. an **intersection attack** that observes the online population at each
+   round of a target pair and intersects;
+2. a **predecessor attack** by the coalition of malicious nodes, pooling
+   the predecessors they observe on the target series.
+
+Run:  python examples/recurring_connections_attack.py
+"""
+
+import numpy as np
+
+from repro.adversary.intersection import IntersectionAttack
+from repro.adversary.traffic_analysis import PredecessorAttack
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
+from repro.core.routing import strategy_by_name
+from repro.network.churn import ChurnModel, node_lifecycle
+from repro.network.overlay import Overlay
+from repro.sim.distributions import Exponential, Pareto
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+N_NODES = 40
+ROUNDS = 20
+GAP = 5.0
+
+
+def run_world(strategy_name: str, seed: int = 11):
+    streams = RandomStreams(seed)
+    env = Environment()
+    overlay = Overlay(rng=streams["overlay"], degree=5)
+    overlay.bootstrap(N_NODES, malicious_fraction=0.15)
+
+    churn = ChurnModel(
+        session=Pareto.with_median(60.0),
+        offtime=Exponential(mean=30.0),
+        depart_prob=0.0,
+    )
+    initiator, responder = 0, N_NODES - 1
+    for nid in overlay.online_ids():
+        if nid not in (initiator, responder):
+            env.process(node_lifecycle(env, overlay, nid, churn, streams["churn"]))
+
+    histories = {nid: HistoryProfile(nid) for nid in overlay.nodes}
+    builder = PathBuilder(
+        overlay=overlay,
+        cost_model=CostModel(),
+        histories=histories,
+        rng=streams["routing"],
+        good_strategy=strategy_by_name(strategy_name),
+        termination=TerminationPolicy.crowds(0.7),
+    )
+    series = ConnectionSeries(
+        cid=1, initiator=initiator, responder=responder,
+        contract=Contract.from_tau(75.0, 2.0), builder=builder,
+    )
+
+    round_times = []
+    coalition = frozenset(n.node_id for n in overlay.malicious_nodes())
+    predecessor_attack = PredecessorAttack(coalition=coalition)
+
+    def workload(env):
+        for _ in range(ROUNDS):
+            round_times.append(env.now)
+            path = series.run_round()
+            if path is not None:
+                predecessor_attack.ingest_path(path)
+            yield env.timeout(GAP)
+
+    env.process(workload(env))
+    env.run(until=GAP * (ROUNDS + 2))
+
+    intersection = IntersectionAttack(
+        trace=overlay.trace, initiator=initiator,
+        excluded=frozenset({responder}),
+    )
+    intersection_result = intersection.observe_rounds(round_times)
+    return series, intersection_result, predecessor_attack, coalition
+
+
+def main() -> None:
+    print("=== Attacks against recurring connections ===\n")
+    for strategy in ("random", "utility-I"):
+        series, inter, pred, coalition = run_world(strategy)
+        log = series.log
+        union = len(log.union_forwarder_set())
+        print(f"--- routing strategy: {strategy} ---")
+        print(
+            f"rounds completed: {log.rounds_completed}/{ROUNDS}   "
+            f"forwarder set ||pi||: {union}   "
+            f"Q(pi): {log.average_length() / max(union, 1):.3f}"
+        )
+        print(
+            f"intersection attack: candidates "
+            f"{inter.candidate_sizes[0]} -> {len(inter.final_candidates)}"
+            f"   exposed: {inter.exposed}   "
+            f"anonymity degree: {inter.anonymity_degree:.2f}"
+        )
+        guess = pred.guess_initiator(1)
+        print(
+            f"predecessor attack: observations={len(pred.observations)}  "
+            f"guess={guess}  correct={guess == 0}  "
+            f"confidence={pred.confidence(1):.2f}"
+        )
+        # The smaller, more stable forwarder set of the utility model means
+        # the malicious coalition is sampled less often over the series.
+        coalition_hits = sum(
+            1
+            for p in log.paths
+            for f in p.forwarders
+            if f in coalition
+        )
+        print(f"coalition forwarding instances on target series: {coalition_hits}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work in offline environments without
+the `wheel` package (pip falls back to `setup.py develop`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro - reproduction of "Incentive-Driven P2P Anonymity System" (ICPP 2007).
+
+A complete, self-contained implementation of the paper's incentive
+mechanism for P2P anonymity forwarding, together with every substrate the
+evaluation depends on: a deterministic discrete-event simulator, a churned
+P2P overlay with active-probing availability estimation, the
+payment/bank infrastructure, game-theoretic analysis tools, adversary
+models, and an experiment harness that regenerates every figure and table
+in the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_scenario
+
+    cfg = ExperimentConfig(seed=1, malicious_fraction=0.1, strategy="utility-I")
+    result = run_scenario(cfg)
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+paper's figures/tables.
+"""
+
+__version__ = "1.0.0"
+
+from repro import adversary, core, experiments, gametheory, network, payment, sim
+
+__all__ = [
+    "__version__",
+    "adversary",
+    "core",
+    "experiments",
+    "gametheory",
+    "network",
+    "payment",
+    "sim",
+]

@@ -1,0 +1,158 @@
+"""Sybil attack against the incentive mechanism.
+
+A rational attacker might multiply identities to capture more
+forwarding income (each identity can be selected independently, each
+earning ``P_f`` per instance plus a share of ``P_r``).  Two structural
+properties of the paper's design limit the payoff:
+
+1. **availability must be earned**: the §2.3 estimator starts a new
+   neighbour at ``rand(0, T)`` observed session time, so fresh Sybil
+   identities have near-zero availability and utility routing rarely
+   selects them until they have *actually stayed online* — the cost the
+   attacker wanted to avoid paying per identity;
+2. **the routing benefit is a fixed pot**: extra identities on a series
+   inflate ``||pi||`` and dilute the per-member share, including the
+   attacker's own.
+
+:func:`run_sybil_experiment` measures the colony's income against its
+pro-rata population share under a chosen routing strategy, with the
+Sybils joining *after* the honest population has probe history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.core.contracts import Contract, draw_contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
+from repro.core.routing import strategy_by_name
+from repro.network.overlay import Overlay
+from repro.network.probing import run_probe_round
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class SybilResult:
+    """Outcome of one Sybil experiment."""
+
+    n_honest: int
+    n_sybil: int
+    colony_income: float
+    honest_income: float
+    #: colony income / (income a same-sized honest group would earn
+    #: pro-rata).
+    amplification: float
+
+    @property
+    def profitable(self) -> bool:
+        """Did identity multiplication beat pro-rata participation?"""
+        return self.amplification > 1.0
+
+
+def run_sybil_experiment(
+    n_honest: int = 24,
+    n_sybil: int = 8,
+    strategy: str = "utility-I",
+    seed: int = 0,
+    n_pairs: int = 10,
+    rounds: int = 15,
+    warmup_probes: int = 6,
+    probe_period: float = 5.0,
+    flap_probability: float = 0.15,
+) -> SybilResult:
+    """Run the workload with a late-joining Sybil colony; measure income.
+
+    The honest overlay bootstraps and accumulates ``warmup_probes``
+    probing rounds (so honest availabilities are established); then the
+    colony joins.  Between workload rounds honest non-endpoint nodes
+    *flap* (go offline/return with probability ``flap_probability``) —
+    the churn that frees neighbour slots Sybils can be discovered into.
+    Sybil identities never flap: staying online is their whole strategy.
+    """
+    if n_sybil < 1 or n_honest < 4:
+        raise ValueError("need n_sybil >= 1 and n_honest >= 4")
+    streams = RandomStreams(seed)
+    overlay = Overlay(rng=streams["overlay"], degree=5)
+    overlay.bootstrap(n_honest)
+
+    # Honest warm-up: probes establish availability before Sybils exist.
+    now = 0.0
+    for _ in range(warmup_probes):
+        now += probe_period
+        for nid in overlay.online_ids():
+            run_probe_round(overlay, nid, probe_period, streams["probe"], now)
+
+    sybil_ids: Set[int] = set()
+    for _ in range(n_sybil):
+        node = overlay.spawn_node()
+        overlay.join(node.node_id, now)
+        sybil_ids.add(node.node_id)
+
+    histories = {nid: HistoryProfile(nid) for nid in overlay.nodes}
+    builder = PathBuilder(
+        overlay=overlay,
+        cost_model=CostModel(),
+        histories=histories,
+        rng=streams["routing"],
+        good_strategy=strategy_by_name(strategy),
+        termination=TerminationPolicy.crowds(0.7),
+    )
+    income: Dict[int, float] = {}
+    pair_rng = streams["pairs"]
+    churn_rng = streams["flap"]
+    honest_pool = [n for n in overlay.online_ids() if n not in sybil_ids]
+    all_series = []
+    endpoints: Set[int] = set()
+    for cid in range(1, n_pairs + 1):
+        i, r = pair_rng.choice(honest_pool, size=2, replace=False)
+        endpoints.update((int(i), int(r)))
+        all_series.append(
+            ConnectionSeries(
+                cid=cid,
+                initiator=int(i),
+                responder=int(r),
+                contract=draw_contract(streams["contracts"], tau=2.0),
+                builder=builder,
+            )
+        )
+    flappable = [
+        n for n in honest_pool if n not in endpoints and n not in sybil_ids
+    ]
+    offline: Set[int] = set()
+    for _ in range(rounds):
+        # Honest churn: some nodes flap; Sybils never do.
+        for nid in list(flappable):
+            if nid in offline:
+                overlay.join(nid, now)
+                offline.discard(nid)
+            elif churn_rng.random() < flap_probability:
+                overlay.leave(nid, now)
+                offline.add(nid)
+        now += probe_period
+        for nid in overlay.online_ids():
+            run_probe_round(overlay, nid, probe_period, streams["probe"], now)
+        for series in all_series:
+            series.run_round()
+    for series in all_series:
+        for node, amount in series.settlement().items():
+            income[node] = income.get(node, 0.0) + amount
+
+    colony = sum(income.get(n, 0.0) for n in sybil_ids)
+    honest = sum(
+        amount for node, amount in income.items() if node not in sybil_ids
+    )
+    total = colony + honest
+    population = n_honest + n_sybil
+    pro_rata = total * n_sybil / population
+    return SybilResult(
+        n_honest=n_honest,
+        n_sybil=n_sybil,
+        colony_income=colony,
+        honest_income=honest,
+        amplification=colony / pro_rata if pro_rata > 0 else 0.0,
+    )

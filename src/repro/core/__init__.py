@@ -1,0 +1,105 @@
+"""The paper's primary contribution: the incentive-driven forwarding core.
+
+Subpackage map (paper section in parentheses):
+
+- :mod:`~repro.core.contracts` — forwarding/routing benefit commitments
+  ``P_f``, ``P_r = tau * P_f`` (§2.2).
+- :mod:`~repro.core.history` — per-node connection history profiles
+  ``H^k(s)`` and selectivity ``sigma(s, v)`` (§2.3, Table 1).
+- :mod:`~repro.core.edge_quality` — ``q(s,v) = w_s*sigma + w_a*alpha``
+  (§2.3).
+- :mod:`~repro.core.costs` — participation + transmission cost model
+  (§2.4.1).
+- :mod:`~repro.core.utility` — Utility Models I and II and the initiator
+  utility (§2.2, §2.4.2, §2.4.3).
+- :mod:`~repro.core.routing` — routing strategies: random (baseline and
+  adversary model), utility-model-I greedy, utility-model-II backward
+  induction (§2.4).
+- :mod:`~repro.core.path` / :mod:`~repro.core.protocol` — hop-by-hop path
+  establishment with contract propagation, reverse-path confirmation and
+  initiator-side validation (§2.2).
+- :mod:`~repro.core.metrics` — ``Q(pi) = L/||pi||``, forwarder-set size,
+  routing efficiency, payoff distributions, anonymity degree (§2.1, §3).
+"""
+
+from repro.core import anonymity
+from repro.core.contracts import Contract, draw_contract
+from repro.core.costs import CostModel
+from repro.core.defenses import CidRotator, GuardRegistry
+from repro.core.edge_quality import QualityWeights, edge_quality
+from repro.core.history import HistoryProfile, HistoryRecord
+from repro.core.metrics import (
+    ConnectionSeriesStats,
+    confidence_interval95,
+    forwarder_set,
+    path_quality,
+    payoff_cdf,
+    routing_efficiency,
+)
+from repro.core.path import Path, PathFailure
+from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
+from repro.core.rendezvous import (
+    MutualConnection,
+    MutualPath,
+    RendezvousRegistry,
+)
+from repro.core.reputation import ReputationRouting, ReputationSystem
+from repro.core.routing import (
+    ForwardingContext,
+    RandomRouting,
+    RoutingStrategy,
+    UtilityModelI,
+    UtilityModelII,
+)
+from repro.core.secure_path import (
+    RouteConfirmation,
+    confirm_and_validate_path,
+    validate_confirmation,
+)
+from repro.core.utility import (
+    anonymity_payoff,
+    forwarder_utility_model1,
+    forwarder_utility_model2,
+    initiator_utility,
+)
+
+__all__ = [
+    "CidRotator",
+    "ConnectionSeries",
+    "ConnectionSeriesStats",
+    "Contract",
+    "CostModel",
+    "ForwardingContext",
+    "GuardRegistry",
+    "HistoryProfile",
+    "HistoryRecord",
+    "MutualConnection",
+    "MutualPath",
+    "Path",
+    "PathBuilder",
+    "PathFailure",
+    "QualityWeights",
+    "RandomRouting",
+    "RendezvousRegistry",
+    "ReputationRouting",
+    "ReputationSystem",
+    "RouteConfirmation",
+    "RoutingStrategy",
+    "TerminationPolicy",
+    "UtilityModelI",
+    "UtilityModelII",
+    "anonymity",
+    "anonymity_payoff",
+    "confidence_interval95",
+    "confirm_and_validate_path",
+    "draw_contract",
+    "edge_quality",
+    "forwarder_set",
+    "forwarder_utility_model1",
+    "forwarder_utility_model2",
+    "initiator_utility",
+    "path_quality",
+    "payoff_cdf",
+    "routing_efficiency",
+    "validate_confirmation",
+]

@@ -1,0 +1,72 @@
+"""Edge quality: ``q(s, v) = w_s * sigma(s, v) + w_a * alpha(v)`` (§2.3).
+
+The two weights trade off *past history* (selectivity — reuse edges the
+series already used, shrinking the forwarder set) against *future
+availability* (pick neighbours likely to still be online for the next
+recurring connection).  The paper requires ``w_s + w_a = 1`` and uses
+``w_s = w_a = 0.5`` unless stated otherwise; the edge into the responder
+always has quality 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.history import HistoryProfile
+from repro.network.node import PeerNode
+
+
+@dataclass(frozen=True)
+class QualityWeights:
+    """Normalised (w_s, w_a) pair; enforces ``w_s + w_a == 1``."""
+
+    selectivity: float = 0.5
+    availability: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 <= self.selectivity <= 1.0 or not 0.0 <= self.availability <= 1.0:
+            raise ValueError(
+                f"weights must be in [0,1]: ({self.selectivity}, {self.availability})"
+            )
+        if abs(self.selectivity + self.availability - 1.0) > 1e-9:
+            raise ValueError(
+                f"weights must sum to 1, got "
+                f"{self.selectivity} + {self.availability}"
+            )
+
+
+def edge_quality(
+    node: PeerNode,
+    neighbor_id: int,
+    history: HistoryProfile,
+    cid: int,
+    round_index: int,
+    weights: QualityWeights = QualityWeights(),
+    predecessor: Optional[int] = None,
+    responder: Optional[int] = None,
+    availability: Optional[float] = None,
+) -> float:
+    """Quality of the outgoing edge ``(node, neighbor_id)``.
+
+    Combines the §2.3 selectivity (history of this series) and the probed
+    availability estimate.  If ``neighbor_id`` is the responder the edge
+    quality is 1 by definition ("the edge quality of the last edge in the
+    path is always 1 because it ends in R").
+
+    ``availability`` lets callers that score a whole candidate set pass
+    the precomputed ``node.availability_vector()[neighbor_id]`` — the
+    per-call sum over the neighbour set is the routing hot path.
+
+    The result is in ``[0, 1]`` because both components are and the
+    weights are convex.
+    """
+    if responder is not None and neighbor_id == responder:
+        return 1.0
+    sigma = history.selectivity(
+        cid, successor=neighbor_id, round_index=round_index, predecessor=predecessor
+    )
+    alpha = availability if availability is not None else node.availability(neighbor_id)
+    q = weights.selectivity * sigma + weights.availability * alpha
+    # Guard against float drift; both terms are provably in [0, 1].
+    return min(1.0, max(0.0, q))

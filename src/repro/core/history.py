@@ -1,0 +1,120 @@
+"""Per-node connection history profiles and selectivity (§2.3, Table 1).
+
+Each node stores, for every connection that passed through it, a record
+``(cid, predecessor, successor)``.  For a recurring connection series
+``pi = {pi^1 ... pi^k}`` (all rounds share the series' connection
+identifier ``cid``), the history at node *s* before round *k* is
+``H^{k-1}(s)``: the outgoing edges of *s* on rounds 1..k-1.
+
+**Selectivity** of an edge ``(s, v)`` is the ratio of history entries for
+that edge to the maximum possible number of entries, ``k - 1``.  Records
+keep the predecessor so a node occupying two positions on the same path
+can score the two positions' outgoing edges independently ("by using the
+predecessor information, a node can differentiate between outgoing edges
+for two different positions on the same path").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One stored hop: series ``cid``, round index, predecessor, successor."""
+
+    cid: int
+    round_index: int
+    predecessor: int
+    successor: int
+
+    def __post_init__(self):
+        if self.round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {self.round_index}")
+
+
+@dataclass
+class HistoryProfile:
+    """History store for one node, keyed by series cid.
+
+    ``capacity`` bounds the number of records kept *per cid* (the paper
+    notes "the amount of history information stored at a node also
+    influences the quality of the edge"); oldest records are evicted first.
+    ``capacity=None`` keeps everything.
+    """
+
+    node_id: int
+    capacity: Optional[int] = None
+    _records: Dict[int, List[HistoryRecord]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {self.capacity}")
+
+    def record(self, cid: int, round_index: int, predecessor: int, successor: int) -> None:
+        """Store the hop taken through this node on round ``round_index``."""
+        rec = HistoryRecord(cid, round_index, predecessor, successor)
+        bucket = self._records.setdefault(cid, [])
+        bucket.append(rec)
+        if self.capacity is not None and len(bucket) > self.capacity:
+            del bucket[0 : len(bucket) - self.capacity]
+
+    def records_for(self, cid: int) -> List[HistoryRecord]:
+        """All stored records for a series (oldest first)."""
+        return list(self._records.get(cid, ()))
+
+    def selectivity(
+        self,
+        cid: int,
+        successor: int,
+        round_index: int,
+        predecessor: Optional[int] = None,
+    ) -> float:
+        """``sigma(s, v)`` for round ``round_index`` of series ``cid``.
+
+        Ratio of matching history entries to the maximum possible
+        ``round_index - 1``.  If ``predecessor`` is given, only entries with
+        that predecessor match (position-aware scoring); otherwise all
+        entries for the edge count.  Returns 0 on the first round.
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        max_entries = round_index - 1
+        if max_entries == 0:
+            return 0.0
+        hits = 0
+        for rec in self._records.get(cid, ()):
+            if rec.round_index >= round_index:
+                continue  # never peek at the current/future rounds
+            if rec.successor != successor:
+                continue
+            if predecessor is not None and rec.predecessor != predecessor:
+                continue
+            hits += 1
+        return min(1.0, hits / max_entries)
+
+    def known_successors(self, cid: int) -> List[int]:
+        """Distinct successors seen for a series (sorted, deterministic)."""
+        return sorted({r.successor for r in self._records.get(cid, ())})
+
+    def series_count(self) -> int:
+        """Number of distinct series this node has forwarded for."""
+        return len(self._records)
+
+    def total_records(self) -> int:
+        return sum(len(v) for v in self._records.values())
+
+    def forget_series(self, cid: int) -> None:
+        """Drop all history for a completed series (storage reclamation)."""
+        self._records.pop(cid, None)
+
+    # -- attack surface (§5(3)) -----------------------------------------
+    def observed_edges(self) -> List[Tuple[int, int, int]]:
+        """(cid, predecessor, successor) tuples — what a *compromised* node
+        leaks to an adversary analysing history profiles."""
+        out = []
+        for cid, bucket in self._records.items():
+            for rec in bucket:
+                out.append((cid, rec.predecessor, rec.successor))
+        return out

@@ -1,0 +1,140 @@
+"""Forwarding paths and their bookkeeping.
+
+A :class:`Path` is one realised round of a connection series: the ordered
+forwarder list between initiator and responder.  A node may appear more
+than once (each appearance is a separate *forwarding instance*, §2.2 pays
+``P_f`` per instance).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class PathFailure(Exception):
+    """Raised when a round's path could not be established.
+
+    ``reformations`` counts how many partial paths were torn down before
+    giving up (each tear-down is a path reformation event, the quantity
+    Proposition 1 reasons about).
+    """
+
+    def __init__(self, reason: str, reformations: int = 0):
+        super().__init__(reason)
+        self.reason = reason
+        self.reformations = reformations
+
+
+@dataclass(frozen=True)
+class Path:
+    """One established forwarding path ``I -> F1 -> ... -> Fm -> R``."""
+
+    cid: int
+    round_index: int
+    initiator: int
+    responder: int
+    #: Forwarders in hop order (excludes initiator and responder).
+    forwarders: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.initiator == self.responder:
+            raise ValueError("initiator and responder must differ")
+        if self.round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {self.round_index}")
+        # The initiator MAY appear as a forwarder: other nodes do not know
+        # it initiated (Crowds-style deniability), so they may route
+        # through it.  The responder cannot — selecting it ends the path.
+        if self.responder in self.forwarders:
+            raise ValueError("responder cannot appear as a forwarder")
+
+    @property
+    def length(self) -> int:
+        """Path length ``L`` = number of forwarding hops (forwarder count,
+        counting repeats)."""
+        return len(self.forwarders)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """Full hop sequence including endpoints."""
+        return (self.initiator, *self.forwarders, self.responder)
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """All directed edges on the path, endpoints included."""
+        seq = self.nodes
+        return list(zip(seq[:-1], seq[1:]))
+
+    @property
+    def forwarder_set(self) -> frozenset:
+        """Distinct forwarders on this round."""
+        return frozenset(self.forwarders)
+
+    def forwarding_instances(self) -> Dict[int, int]:
+        """Forwarding-instance count per forwarder (repeats counted)."""
+        return dict(Counter(self.forwarders))
+
+    def hop_records(self) -> List[Tuple[int, int, int]]:
+        """(predecessor, node, successor) triples for every forwarder
+        position — exactly what each forwarder stores in its history
+        profile (Table 1)."""
+        seq = self.nodes
+        return [
+            (seq[i - 1], seq[i], seq[i + 1]) for i in range(1, len(seq) - 1)
+        ]
+
+
+@dataclass
+class SeriesLog:
+    """Accumulates the rounds of one connection series ``pi``."""
+
+    cid: int
+    initiator: int
+    responder: int
+    paths: List[Path] = field(default_factory=list)
+    failed_rounds: int = 0
+    reformations: int = 0
+
+    def add(self, path: Path) -> None:
+        if path.cid != self.cid:
+            raise ValueError(f"path cid {path.cid} does not match series {self.cid}")
+        self.paths.append(path)
+
+    @property
+    def rounds_completed(self) -> int:
+        return len(self.paths)
+
+    def union_forwarder_set(self) -> frozenset:
+        """``Q = union of F_i`` over all rounds (§2.1) — the quantity the
+        mechanism minimises."""
+        out: set = set()
+        for p in self.paths:
+            out |= p.forwarder_set
+        return frozenset(out)
+
+    def total_instances(self) -> Dict[int, int]:
+        """Forwarding instances per forwarder across the whole series."""
+        totals: Counter = Counter()
+        for p in self.paths:
+            totals.update(p.forwarding_instances())
+        return dict(totals)
+
+    def average_length(self) -> float:
+        """``L`` — average path length over completed rounds."""
+        if not self.paths:
+            return 0.0
+        return sum(p.length for p in self.paths) / len(self.paths)
+
+    def new_edges_per_round(self) -> List[int]:
+        """For each round k >= 2, how many of its edges were *not* seen on
+        rounds 1..k-1 — the Proposition 1 random variable ``X`` summed per
+        round."""
+        seen: set = set()
+        out: List[int] = []
+        for i, p in enumerate(self.paths):
+            edges = set(p.edges)
+            if i > 0:
+                out.append(len(edges - seen))
+            seen |= edges
+        return out

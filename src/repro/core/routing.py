@@ -1,0 +1,331 @@
+"""Routing strategies: how a forwarder picks the next hop (§2.4).
+
+Three strategies from the paper:
+
+- :class:`RandomRouting` — uniform choice among live neighbours.  This is
+  both the baseline and the adversary model ("we model an adversary's
+  routing strategy as random routing").
+- :class:`UtilityModelI` — greedy edge-local utility (eq. 1): evaluate
+  ``U_i(j) = P_f + q(i,j) P_r - C`` for every live neighbour, pick the
+  maximiser, break ties towards higher edge quality.  ``NULL`` (decline to
+  participate) when the best utility is negative.
+- :class:`UtilityModelII` — path-global utility (§2.4.3): score each
+  neighbour by the quality of the best remaining path to the responder,
+  computed by backward induction over a bounded-depth game tree.  The
+  induction assumes downstream nodes also play their equilibrium
+  (quality-maximising) strategy — the SPNE logic of the L-stage game.
+
+Strategies never select the node itself (the strategy space is
+``SS_i = V \\ {i} + NULL``) and avoid the immediate predecessor when an
+alternative exists (a 2-cycle adds cost without progress).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.edge_quality import QualityWeights, edge_quality
+from repro.core.history import HistoryProfile
+from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
+from repro.network.node import PeerNode
+from repro.network.overlay import Overlay
+
+
+@dataclass
+class ForwardingContext:
+    """Everything a routing decision may consult.
+
+    The context is built once per connection round by the protocol layer
+    and threaded through each hop's decision.
+    """
+
+    cid: int
+    round_index: int
+    contract: Contract
+    responder: int
+    overlay: Overlay
+    cost_model: CostModel
+    histories: Mapping[int, HistoryProfile]
+    rng: np.random.Generator
+    weights: QualityWeights = field(default_factory=QualityWeights)
+    #: When True, selectivity only counts history entries with a matching
+    #: predecessor (the §2.3 position-differentiation refinement).  Off by
+    #: default: under churn the upstream prefix varies between rounds, and
+    #: conditioning on it discards most reuse signal.
+    position_aware_selectivity: bool = False
+
+    def selectivity_predecessor(self, predecessor: Optional[int]) -> Optional[int]:
+        return predecessor if self.position_aware_selectivity else None
+
+    def history_of(self, node_id: int) -> HistoryProfile:
+        return self.histories[node_id]
+
+    def live_neighbors(self, node: PeerNode) -> List[int]:
+        """The node's currently-online neighbours (sorted: determinism)."""
+        return sorted(
+            nbr for nbr in node.neighbors if self.overlay.is_online(nbr)
+        )
+
+    def candidates(self, node: PeerNode, predecessor: Optional[int]) -> List[int]:
+        """Next-hop candidates: live neighbours, no self, no responder,
+        predecessor only as a last resort.
+
+        The responder is excluded because *delivery* is governed by the
+        termination policy (footnote 2: path length is controlled by the
+        forwarding probability, not by routing); the quality-1 delivery
+        edge is appended when the coin says "deliver".
+        """
+        live = [
+            n
+            for n in self.live_neighbors(node)
+            if n != node.node_id and n != self.responder
+        ]
+        if predecessor is not None:
+            without_pred = [n for n in live if n != predecessor]
+            if without_pred:
+                return without_pred
+        return live
+
+
+class RoutingStrategy(abc.ABC):
+    """Interface: pick the next hop, or None to decline (NULL strategy)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select_next_hop(
+        self,
+        node: PeerNode,
+        predecessor: Optional[int],
+        context: ForwardingContext,
+    ) -> Optional[int]:
+        """Return the chosen neighbour id, or None for non-participation."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomRouting(RoutingStrategy):
+    """Uniform random next hop among candidates (baseline / adversary)."""
+
+    name = "random"
+
+    def select_next_hop(
+        self,
+        node: PeerNode,
+        predecessor: Optional[int],
+        context: ForwardingContext,
+    ) -> Optional[int]:
+        cands = context.candidates(node, predecessor)
+        if not cands:
+            return None
+        # Responder reachable? In Crowds-style systems any node may submit
+        # directly; the termination policy handles delivery.  Here we only
+        # pick among overlay neighbours.
+        return int(context.rng.choice(cands))
+
+
+def _score_edges_model1(
+    node: PeerNode,
+    predecessor: Optional[int],
+    context: ForwardingContext,
+) -> List[Tuple[float, float, int]]:
+    """(utility, quality, neighbor) triples for every candidate, eq. 1."""
+    history = context.history_of(node.node_id)
+    out = []
+    # One availability pass for the whole candidate set (hot path).
+    avail = node.availability_vector()
+    for nbr in context.candidates(node, predecessor):
+        q = edge_quality(
+            node,
+            nbr,
+            history,
+            cid=context.cid,
+            round_index=context.round_index,
+            weights=context.weights,
+            predecessor=context.selectivity_predecessor(predecessor),
+            responder=context.responder,
+            availability=avail.get(nbr),
+        )
+        cost = context.cost_model.decision_cost(
+            node.participation_cost, node.node_id, nbr, context.contract.payload_size
+        )
+        u = forwarder_utility_model1(context.contract, q, cost)
+        out.append((u, q, nbr))
+    return out
+
+
+def _argmax_with_quality_tiebreak(
+    scored: List[Tuple[float, float, int]]
+) -> Optional[Tuple[float, float, int]]:
+    """Max by utility; ties resolved towards higher quality, then lower id
+    (the paper specifies the quality tie-break; the id tie-break makes runs
+    reproducible)."""
+    if not scored:
+        return None
+    return max(scored, key=lambda t: (t[0], t[1], -t[2]))
+
+
+class UtilityModelI(RoutingStrategy):
+    """Greedy edge-quality utility maximiser (eq. 1).
+
+    Sorting the d candidate utilities is the paper's O(log d)-per-decision
+    mechanism; we take the argmax directly (same choice, O(d)).
+    """
+
+    name = "utility-I"
+
+    #: Decline to forward when the best utility falls below this (the paper
+    #: uses 0: a rational node never pays to participate).
+    participation_threshold: float = 0.0
+
+    def select_next_hop(
+        self,
+        node: PeerNode,
+        predecessor: Optional[int],
+        context: ForwardingContext,
+    ) -> Optional[int]:
+        best = _argmax_with_quality_tiebreak(
+            _score_edges_model1(node, predecessor, context)
+        )
+        if best is None or best[0] < self.participation_threshold:
+            return None
+        return best[2]
+
+
+class UtilityModelII(RoutingStrategy):
+    """Path-global utility via bounded backward induction (§2.4.3).
+
+    The quality of ``pi(i, j, R)`` is estimated as the *mean edge quality*
+    of the best path ``i -> j -> ... -> R`` found by recursing up to
+    ``lookahead`` edges past ``j``, assuming each downstream node picks its
+    own quality-maximising successor (subgame-perfect play).  Mean (not
+    sum) keeps the score in [0, 1] so ``P_r`` weighs both models equally.
+    """
+
+    name = "utility-II"
+    participation_threshold: float = 0.0
+
+    def __init__(self, lookahead: int = 2):
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        self.lookahead = lookahead
+
+    def __repr__(self) -> str:
+        return f"UtilityModelII(lookahead={self.lookahead})"
+
+    def _best_downstream(
+        self,
+        node_id: int,
+        predecessor: Optional[int],
+        depth: int,
+        context: ForwardingContext,
+        memo: Dict[Tuple[int, int], Tuple[float, int]],
+    ) -> Tuple[float, int]:
+        """Best (sum_quality, n_edges) of a path from ``node_id`` to the
+        responder using at most ``depth`` edges.  (0.0, 0) if no progress
+        is possible."""
+        if depth == 0:
+            return (0.0, 0)
+        key = (node_id, depth)
+        if key in memo:
+            return memo[key]
+        node = context.overlay.nodes[node_id]
+        history = context.history_of(node_id)
+        best_sum, best_n = 0.0, 0
+        best_mean = -1.0
+        avail = node.availability_vector()
+        for nbr in context.candidates(node, predecessor):
+            q = edge_quality(
+                node,
+                nbr,
+                history,
+                cid=context.cid,
+                round_index=context.round_index,
+                weights=context.weights,
+                predecessor=context.selectivity_predecessor(predecessor),
+                responder=context.responder,
+                availability=avail.get(nbr),
+            )
+            tail_sum, tail_n = self._best_downstream(
+                nbr, node_id, depth - 1, context, memo
+            )
+            total_sum, total_n = q + tail_sum, 1 + tail_n
+            mean = total_sum / total_n
+            if mean > best_mean:
+                best_mean, best_sum, best_n = mean, total_sum, total_n
+        memo[key] = (best_sum, best_n)
+        return memo[key]
+
+    def path_quality_through(
+        self,
+        node: PeerNode,
+        neighbor: int,
+        predecessor: Optional[int],
+        context: ForwardingContext,
+    ) -> float:
+        """Normalised quality of the best path node -> neighbor -> ... -> R.
+
+        The terminal delivery edge into R always has quality 1 (§2.3), so
+        it is appended to every candidate's path before normalising.
+        """
+        history = context.history_of(node.node_id)
+        q_first = edge_quality(
+            node,
+            neighbor,
+            history,
+            cid=context.cid,
+            round_index=context.round_index,
+            weights=context.weights,
+            predecessor=context.selectivity_predecessor(predecessor),
+            responder=context.responder,
+        )
+        memo: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        tail_sum, tail_n = self._best_downstream(
+            neighbor, node.node_id, self.lookahead, context, memo
+        )
+        return (q_first + tail_sum + 1.0) / (1 + tail_n + 1)
+
+    def select_next_hop(
+        self,
+        node: PeerNode,
+        predecessor: Optional[int],
+        context: ForwardingContext,
+    ) -> Optional[int]:
+        scored: List[Tuple[float, float, int]] = []
+        for nbr in context.candidates(node, predecessor):
+            pq = self.path_quality_through(node, nbr, predecessor, context)
+            cost = context.cost_model.decision_cost(
+                node.participation_cost,
+                node.node_id,
+                nbr,
+                context.contract.payload_size,
+            )
+            u = forwarder_utility_model2(context.contract, pq, cost)
+            scored.append((u, pq, nbr))
+        best = _argmax_with_quality_tiebreak(scored)
+        if best is None or best[0] < self.participation_threshold:
+            return None
+        return best[2]
+
+
+def strategy_by_name(name: str, **kwargs) -> RoutingStrategy:
+    """Factory used by configs: 'random' | 'utility-I' | 'utility-II'."""
+    table = {
+        "random": RandomRouting,
+        "utility-I": UtilityModelI,
+        "utility-II": UtilityModelII,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(**kwargs)

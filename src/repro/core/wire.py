@@ -1,0 +1,223 @@
+"""Wire formats for the protocol's messages.
+
+The simulation passes Python objects between components; a deployable
+system needs concrete byte encodings.  This module defines the four
+messages the §2.2 protocol exchanges and a compact, versioned binary
+codec for each (big-endian, length-prefixed — no pickle, no JSON
+ambiguity):
+
+- :class:`ContractOffer` — propagated hop-by-hop with the payload: the
+  series' wire cid, round index, responder, and the committed ``P_f`` /
+  ``P_r`` (the "contract information" of §2.2);
+- :class:`ForwardRequest` — one hop's forwarding instruction: the offer
+  plus the payload digest being relayed;
+- :class:`ConfirmationEnvelope` — the reverse-path confirmation carrying
+  sealed hop records (opaque blobs from :mod:`repro.core.secure_path`);
+- :class:`ClaimSubmission` — a forwarder's settlement claim to the bank.
+
+Every message round-trips through ``encode()`` / ``decode()`` (enforced
+by property tests), rejects truncated or version-mismatched input, and
+is self-delimiting so messages can be concatenated on a stream.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Wire protocol version; bumped on incompatible layout changes.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct(">BBI")  # version, message type, body length
+
+
+class WireError(Exception):
+    """Malformed, truncated, or incompatible wire data."""
+
+
+def _pack(msg_type: int, body: bytes) -> bytes:
+    return _HEADER.pack(WIRE_VERSION, msg_type, len(body)) + body
+
+
+def _unpack(data: bytes, expected_type: int) -> bytes:
+    if len(data) < _HEADER.size:
+        raise WireError("truncated header")
+    version, msg_type, length = _HEADER.unpack_from(data)
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if msg_type != expected_type:
+        raise WireError(f"expected message type {expected_type}, got {msg_type}")
+    body = data[_HEADER.size :]
+    if len(body) != length:
+        raise WireError(f"body length mismatch: header says {length}, got {len(body)}")
+    return body
+
+
+def _pack_bytes(blob: bytes) -> bytes:
+    if len(blob) > 0xFFFF:
+        raise WireError("blob too large")
+    return struct.pack(">H", len(blob)) + blob
+
+
+def _unpack_bytes(body: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + 2 > len(body):
+        raise WireError("truncated blob length")
+    (length,) = struct.unpack_from(">H", body, offset)
+    end = offset + 2 + length
+    if end > len(body):
+        raise WireError("truncated blob")
+    return body[offset + 2 : end], end
+
+
+@dataclass(frozen=True)
+class ContractOffer:
+    """§2.2 contract information, propagated with the payload."""
+
+    cid: int
+    round_index: int
+    responder: int
+    forwarding_benefit: float
+    routing_benefit: float
+
+    TYPE = 1
+    _BODY = struct.Struct(">QIQdd")
+
+    def encode(self) -> bytes:
+        return _pack(
+            self.TYPE,
+            self._BODY.pack(
+                self.cid,
+                self.round_index,
+                self.responder,
+                self.forwarding_benefit,
+                self.routing_benefit,
+            ),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ContractOffer":
+        body = _unpack(data, cls.TYPE)
+        if len(body) != cls._BODY.size:
+            raise WireError("bad ContractOffer body size")
+        cid, rnd, responder, pf, pr = cls._BODY.unpack(body)
+        return cls(
+            cid=cid,
+            round_index=rnd,
+            responder=responder,
+            forwarding_benefit=pf,
+            routing_benefit=pr,
+        )
+
+
+@dataclass(frozen=True)
+class ForwardRequest:
+    """One forwarding hop: the offer plus the relayed payload digest."""
+
+    offer: ContractOffer
+    hop_index: int
+    payload_digest: bytes
+
+    TYPE = 2
+
+    def encode(self) -> bytes:
+        offer_blob = self.offer.encode()
+        body = (
+            struct.pack(">I", self.hop_index)
+            + _pack_bytes(offer_blob)
+            + _pack_bytes(self.payload_digest)
+        )
+        return _pack(self.TYPE, body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ForwardRequest":
+        body = _unpack(data, cls.TYPE)
+        if len(body) < 4:
+            raise WireError("truncated ForwardRequest")
+        (hop_index,) = struct.unpack_from(">I", body)
+        offer_blob, offset = _unpack_bytes(body, 4)
+        digest, offset = _unpack_bytes(body, offset)
+        if offset != len(body):
+            raise WireError("trailing bytes in ForwardRequest")
+        return cls(
+            offer=ContractOffer.decode(offer_blob),
+            hop_index=hop_index,
+            payload_digest=digest,
+        )
+
+
+@dataclass(frozen=True)
+class ConfirmationEnvelope:
+    """Reverse-path confirmation: sealed hop records as opaque blobs."""
+
+    cid: int
+    round_index: int
+    sealed_records: Tuple[Tuple[int, bytes], ...]  # (wrapped_key, ciphertext)
+
+    TYPE = 3
+
+    def encode(self) -> bytes:
+        parts: List[bytes] = [struct.pack(">QI", self.cid, self.round_index)]
+        parts.append(struct.pack(">H", len(self.sealed_records)))
+        for wrapped_key, ciphertext in self.sealed_records:
+            key_bytes = wrapped_key.to_bytes((wrapped_key.bit_length() + 7) // 8 or 1, "big")
+            parts.append(_pack_bytes(key_bytes))
+            parts.append(_pack_bytes(ciphertext))
+        return _pack(self.TYPE, b"".join(parts))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ConfirmationEnvelope":
+        body = _unpack(data, cls.TYPE)
+        if len(body) < 14:
+            raise WireError("truncated ConfirmationEnvelope")
+        cid, rnd = struct.unpack_from(">QI", body)
+        (count,) = struct.unpack_from(">H", body, 12)
+        offset = 14
+        records: List[Tuple[int, bytes]] = []
+        for _ in range(count):
+            key_bytes, offset = _unpack_bytes(body, offset)
+            ciphertext, offset = _unpack_bytes(body, offset)
+            records.append((int.from_bytes(key_bytes, "big"), ciphertext))
+        if offset != len(body):
+            raise WireError("trailing bytes in ConfirmationEnvelope")
+        return cls(cid=cid, round_index=rnd, sealed_records=tuple(records))
+
+
+@dataclass(frozen=True)
+class ClaimSubmission:
+    """A forwarder's settlement claim for one series."""
+
+    cid: int
+    forwarder: int
+    instances: int
+
+    TYPE = 4
+    _BODY = struct.Struct(">QQI")
+
+    def encode(self) -> bytes:
+        return _pack(self.TYPE, self._BODY.pack(self.cid, self.forwarder, self.instances))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ClaimSubmission":
+        body = _unpack(data, cls.TYPE)
+        if len(body) != cls._BODY.size:
+            raise WireError("bad ClaimSubmission body size")
+        cid, forwarder, instances = cls._BODY.unpack(body)
+        return cls(cid=cid, forwarder=forwarder, instances=instances)
+
+
+def decode_any(data: bytes):
+    """Dispatch on the header's message type."""
+    if len(data) < _HEADER.size:
+        raise WireError("truncated header")
+    _version, msg_type, _length = _HEADER.unpack_from(data)
+    table = {
+        ContractOffer.TYPE: ContractOffer,
+        ForwardRequest.TYPE: ForwardRequest,
+        ConfirmationEnvelope.TYPE: ConfirmationEnvelope,
+        ClaimSubmission.TYPE: ClaimSubmission,
+    }
+    cls = table.get(msg_type)
+    if cls is None:
+        raise WireError(f"unknown message type {msg_type}")
+    return cls.decode(data)

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands:
+
+- ``run`` — one simulation scenario, printing the summary;
+- ``figure {3,4,5,6,7}`` — regenerate a paper figure;
+- ``table 2`` — regenerate Table 2 (with the paper's printed values);
+- ``prop 1`` — the Proposition 1 reformation experiment.
+
+Scale is selected with ``--preset quick|paper`` and ``--seeds N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    DEFAULT_FRACTIONS,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.reporting import (
+    render_forwarder_sets,
+    render_payoff_cdf,
+    render_payoff_vs_fraction,
+    render_table2,
+)
+from repro.experiments.scenario import run_scenario
+from repro.experiments.tables import table2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incentive-driven P2P anonymity system (ICPP 2007) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation scenario")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--strategy",
+        choices=("random", "utility-I", "utility-II"),
+        default="utility-I",
+    )
+    run_p.add_argument("--fraction", "-f", type=float, default=0.1,
+                       help="fraction of malicious nodes")
+    run_p.add_argument("--tau", type=float, default=2.0)
+    run_p.add_argument("--nodes", type=int, default=40)
+    run_p.add_argument("--pairs", type=int, default=100)
+    run_p.add_argument("--transmissions", type=int, default=2000)
+    run_p.add_argument(
+        "--topology",
+        choices=("random", "regular", "small-world", "scale-free"),
+        default="random",
+    )
+    run_p.add_argument("--no-bank", action="store_true",
+                       help="skip the payment system (faster)")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
+    fig_p.add_argument("--plot", action="store_true",
+                       help="render an ASCII chart in addition to the table")
+    _scale_args(fig_p)
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("number", type=int, choices=(2,))
+    _scale_args(tab_p)
+
+    prop_p = sub.add_parser("prop", help="run a proposition experiment")
+    prop_p.add_argument("number", type=int, choices=(1,))
+    _scale_args(prop_p)
+
+    suite_p = sub.add_parser(
+        "suite", help="regenerate every paper artefact and report"
+    )
+    suite_p.add_argument("--output", "-o", default=None,
+                         help="write the markdown report to this path")
+    _scale_args(suite_p)
+
+    return parser
+
+
+def _scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--preset", choices=("quick", "paper"), default="quick")
+    p.add_argument("--seeds", type=int, default=3)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        seed=args.seed,
+        strategy=args.strategy,
+        malicious_fraction=args.fraction,
+        tau=args.tau,
+        n_nodes=args.nodes,
+        n_pairs=args.pairs,
+        total_transmissions=args.transmissions,
+        topology=args.topology,
+        use_bank=not args.no_bank,
+    )
+    result = run_scenario(cfg)
+    print(result.summary())
+    print(f"  per-series good-node payoff: {result.average_good_series_payoff():.1f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.plotting import (
+        cdf_plot,
+        forwarder_sets_plot,
+        payoff_vs_fraction_plot,
+    )
+
+    kwargs = dict(preset=args.preset, n_seeds=args.seeds)
+    plot = getattr(args, "plot", False)
+    if args.number in (3, 4):
+        fig = figure3(**kwargs) if args.number == 3 else figure4(**kwargs)
+        print(render_payoff_vs_fraction(fig, f"Figure {args.number}"))
+        if plot:
+            print()
+            print(payoff_vs_fraction_plot(fig))
+    elif args.number == 5:
+        fig = figure5(fractions=DEFAULT_FRACTIONS, **kwargs)
+        print(render_forwarder_sets(fig))
+        if plot:
+            print()
+            print(forwarder_sets_plot(fig))
+    else:
+        fig = figure6(**kwargs) if args.number == 6 else figure7(**kwargs)
+        print(render_payoff_cdf(fig, f"Figure {args.number}"))
+        if plot:
+            print()
+            print(cdf_plot(fig.cdfs, title=f"Figure {args.number} (CDF)"))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    print(render_table2(table2(preset=args.preset, n_seeds=args.seeds)))
+    return 0
+
+
+def _cmd_prop(args: argparse.Namespace) -> int:
+    from repro.core.metrics import mean_new_edge_fraction
+    from repro.experiments.runner import run_replicates
+    from repro.gametheory.propositions import proposition1_experiment
+
+    def logs(strategy: str):
+        base = ExperimentConfig(
+            n_pairs=10 if args.preset == "quick" else 100,
+            total_transmissions=200 if args.preset == "quick" else 2000,
+            strategy=strategy,
+            malicious_fraction=0.0,
+        )
+        out = []
+        for r in run_replicates(base, args.seeds):
+            out.extend(r.series_logs)
+        return out
+
+    res = proposition1_experiment(logs("random"), logs("utility-I"))
+    print("Proposition 1 - mean new-edge fraction per round")
+    print(f"  random routing:    {res.new_edge_fraction_random:.3f}")
+    print(f"  utility-I routing: {res.new_edge_fraction_nonrandom:.3f}")
+    print(f"  claim holds: {res.holds}")
+    return 0 if res.holds else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.suite import run_suite
+
+    result = run_suite(preset=args.preset, n_seeds=args.seeds, progress=print)
+    report = result.to_markdown()
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"report written to {path}")
+    else:
+        print(report)
+    return 0 if result.all_passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "prop": _cmd_prop,
+        "suite": _cmd_suite,
+    }
+    return handlers[args.command](args)

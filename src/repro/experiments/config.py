@@ -1,0 +1,188 @@
+"""Experiment configuration with the paper's §3 defaults.
+
+Paper setup: N = 40 nodes, d = 5 neighbours, 100 (I, R) pairs, 2000 total
+message transmissions (≈ 20 rounds per pair), ``P_f`` drawn uniformly from
+[50, 100], ``tau ∈ {0.5, 1, 2, 4}``, ``w_s = w_a = 0.5``, Pareto session
+times with a 60-minute median, transmission cost proportional to link
+bandwidth, and a fraction ``f`` of adversarial (randomly routing) nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.contracts import PF_RANGE
+from repro.core.edge_quality import QualityWeights
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn knobs (see :class:`repro.network.churn.ChurnModel`)."""
+
+    enabled: bool = True
+    session_median: float = 60.0
+    session_shape: float = 2.0
+    offtime_mean: float = 30.0
+    depart_prob: float = 0.05
+    arrival_rate: float = 0.0
+    #: Strength of the incentive->availability feedback: a node's next
+    #: session is scaled by ``1 + coupling * min(own earnings / mean
+    #: earnings, cap)``.  0 = exogenous churn (earnings don't affect
+    #: uptime); this is the §1 mechanism that incentives "induce peers to
+    #: provide reliable service".
+    incentive_coupling: float = 0.0
+    incentive_coupling_cap: float = 4.0
+
+    def __post_init__(self):
+        if self.session_median <= 0 or self.session_shape <= 0:
+            raise ValueError("session distribution parameters must be positive")
+        if self.offtime_mean <= 0:
+            raise ValueError("offtime_mean must be positive")
+        if self.incentive_coupling < 0 or self.incentive_coupling_cap <= 0:
+            raise ValueError("incentive coupling parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one simulation run."""
+
+    seed: int = 0
+    # --- population
+    n_nodes: int = 40
+    degree: int = 5
+    malicious_fraction: float = 0.1
+    participation_cost: float = 1.0
+    # --- workload
+    n_pairs: int = 100
+    total_transmissions: int = 2000
+    #: Minutes between a pair's recurring rounds.  The paper does not
+    #: state its inter-round timing; 5 minutes (HTTP-style recurring
+    #: traffic) against 60-minute median sessions reproduces the paper's
+    #: clear figure-5 separation between utility and random routing.
+    inter_round_gap: float = 5.0
+    # --- incentive mechanism
+    strategy: str = "utility-I"  # 'random' | 'utility-I' | 'utility-II'
+    #: Adversary routing behaviour: 'random' (the paper's model — an
+    #: adversary maximises observations, not income) or 'mimic' (plays the
+    #: good strategy to blend in and capture paths — a stronger threat
+    #: model the extension benches evaluate).
+    adversary_mode: str = "random"
+    tau: float = 2.0
+    pf_range: Tuple[float, float] = PF_RANGE
+    weight_selectivity: float = 0.5
+    weight_availability: float = 0.5
+    lookahead: int = 2  # utility-II backward-induction depth
+    # --- forwarding
+    forward_probability: float = 0.7  # Crowds p_f
+    termination: str = "crowds"  # 'crowds' | 'ttl'
+    ttl: int = 3
+    max_path_length: int = 30
+    max_attempts: int = 10
+    #: Per-hop message-loss probability (failure injection; a lost hop
+    #: forces a path reformation).
+    loss_probability: float = 0.0
+    # --- network
+    #: Overlay wiring: 'random' (paper), 'regular', 'small-world',
+    #: 'scale-free' (see repro.network.topology).
+    topology: str = "random"
+    #: Neighbour-replacement discovery: 'oracle' (bootstrap service
+    #: sampling the true online set) or 'gossip' (Cyclon-style partial
+    #: views, fully decentralised; see repro.network.gossip).
+    discovery: str = "oracle"
+    probe_period: float = 5.0
+    min_bandwidth: float = 1.0
+    max_bandwidth: float = 10.0
+    unit_cost: float = 1.0
+    payload_size: float = 1.0
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    #: Pin (I, R) endpoints online for the whole run.  Off by default:
+    #: with 100 pairs over 40 nodes nearly every node is an endpoint, and
+    #: pinning them all would disable churn.  Instead, a round whose
+    #: initiator is offline waits for it to rejoin (bounded by
+    #: ``initiator_wait_rounds`` probe periods, then the round fails).
+    pin_endpoints: bool = False
+    initiator_wait_rounds: int = 12
+    # --- defences (repro.core.defenses)
+    #: Pin each initiator's first hop to a guard node.
+    use_guards: bool = False
+    #: Rotate wire connection identifiers every this many rounds
+    #: (0 disables rotation).
+    cid_rotation_epoch: int = 0
+    #: Run the §2.2 cryptographic reverse-path confirmation on every
+    #: completed round (sealed hop records + initiator-side validation;
+    #: see repro.core.secure_path).  Costs RSA work per round.
+    validate_routes: bool = False
+    #: Simulate each round's payload + confirmation transfers through the
+    #: message-level transport (link contention, per-hop latency); round
+    #: latencies are collected in ``ScenarioResult.round_latencies``.
+    temporal_forwarding: bool = False
+    #: Fixed per-hop propagation / per-node processing delays (minutes)
+    #: used in temporal mode.
+    propagation_delay: float = 0.005
+    processing_delay: float = 0.002
+    # --- payment
+    use_bank: bool = True
+    endowment: float = 1_000_000.0
+    bank_key_bits: int = 128
+
+    def __post_init__(self):
+        if self.n_nodes < 4:
+            raise ValueError(f"need at least 4 nodes, got {self.n_nodes}")
+        if not 0.0 <= self.malicious_fraction <= 1.0:
+            raise ValueError(
+                f"malicious_fraction out of [0,1]: {self.malicious_fraction}"
+            )
+        if self.n_pairs < 1 or self.total_transmissions < self.n_pairs:
+            raise ValueError("need >= 1 pair and >= 1 transmission per pair")
+        if self.strategy not in ("random", "utility-I", "utility-II"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.adversary_mode not in ("random", "mimic"):
+            raise ValueError(
+                f"unknown adversary_mode {self.adversary_mode!r}"
+            )
+        if abs(self.weight_selectivity + self.weight_availability - 1.0) > 1e-9:
+            raise ValueError("quality weights must sum to 1")
+        if not 0.0 <= self.forward_probability < 1.0:
+            raise ValueError(
+                f"forward_probability out of [0,1): {self.forward_probability}"
+            )
+        if self.termination not in ("crowds", "ttl"):
+            raise ValueError(f"unknown termination {self.termination!r}")
+        if self.inter_round_gap <= 0 or self.probe_period <= 0:
+            raise ValueError("time parameters must be positive")
+        from repro.network.topology import TOPOLOGIES
+
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.discovery not in ("oracle", "gossip"):
+            raise ValueError(
+                f"unknown discovery {self.discovery!r}; expected 'oracle' or 'gossip'"
+            )
+
+    @property
+    def rounds_per_pair(self) -> int:
+        """``max-connections``: transmissions split evenly over pairs."""
+        return max(1, self.total_transmissions // self.n_pairs)
+
+    @property
+    def weights(self) -> QualityWeights:
+        return QualityWeights(
+            selectivity=self.weight_selectivity,
+            availability=self.weight_availability,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: A scaled-down configuration for fast unit/integration tests: same
+#: structure, ~40x less work than the paper-scale run.
+SMALL_CONFIG = ExperimentConfig(
+    n_nodes=24,
+    n_pairs=8,
+    total_transmissions=80,
+)

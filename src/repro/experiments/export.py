@@ -1,0 +1,122 @@
+"""Export experiment results to CSV / JSON for external analysis.
+
+The benchmarks print paper-style tables; this module persists the same
+data machine-readably so downstream users can plot with their own tools:
+
+- :func:`sweep_to_csv` / :func:`sweep_to_json` — SweepResult rows;
+- :func:`scenario_to_json` — one run's headline metrics + per-node
+  payoffs;
+- :func:`table2_to_csv` — the Table 2 grid;
+- :func:`cdf_to_csv` — payoff CDF samples (Figures 6-7).
+
+All writers create parent directories and return the written path.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.runner import SweepResult
+from repro.experiments.scenario import ScenarioResult
+from repro.experiments.tables import Table2Result
+
+PathLike = Union[str, Path]
+
+
+def _prepare(path: PathLike) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def sweep_to_csv(result: SweepResult, path: PathLike) -> Path:
+    """Write a sweep's (value, mean, ci95, n) rows as CSV."""
+    p = _prepare(path)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.field_name, result.metric_name, "ci95", "n"])
+        for point in result.points:
+            writer.writerow([point.value, point.mean, point.ci95, len(point.samples)])
+    return p
+
+
+def sweep_to_json(result: SweepResult, path: PathLike) -> Path:
+    """Write a sweep, including raw per-seed samples, as JSON."""
+    p = _prepare(path)
+    payload = {
+        "field": result.field_name,
+        "metric": result.metric_name,
+        "points": [
+            {
+                "value": point.value,
+                "mean": point.mean,
+                "ci95": point.ci95,
+                "samples": list(point.samples),
+            }
+            for point in result.points
+        ],
+    }
+    p.write_text(json.dumps(payload, indent=2))
+    return p
+
+
+def scenario_to_json(result: ScenarioResult, path: PathLike) -> Path:
+    """Headline metrics + per-node payoffs for one run."""
+    p = _prepare(path)
+    cfg = result.config
+    payload = {
+        "config": {
+            "seed": cfg.seed,
+            "strategy": cfg.strategy,
+            "n_nodes": cfg.n_nodes,
+            "malicious_fraction": cfg.malicious_fraction,
+            "tau": cfg.tau,
+            "n_pairs": cfg.n_pairs,
+            "total_transmissions": cfg.total_transmissions,
+            "topology": cfg.topology,
+        },
+        "metrics": {
+            "avg_forwarder_set_size": result.average_forwarder_set_size(),
+            "avg_path_quality": result.average_path_quality(),
+            "avg_good_payoff": result.average_good_payoff(),
+            "avg_good_series_payoff": result.average_good_series_payoff(),
+            "payoff_gini": result.payoff_gini(),
+            "total_reformations": result.total_reformations,
+            "sim_duration": result.sim_duration,
+            "bank_audit_ok": result.bank_audit_ok,
+        },
+        "payoffs": {str(k): v for k, v in sorted(result.payoffs.items())},
+        "good_nodes": sorted(result.good_node_ids),
+        "malicious_nodes": sorted(result.malicious_node_ids),
+    }
+    p.write_text(json.dumps(payload, indent=2))
+    return p
+
+
+def table2_to_csv(result: Table2Result, path: PathLike) -> Path:
+    """Write the Table 2 grid (plus the column-mean row) as CSV."""
+    p = _prepare(path)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["f"] + [f"tau={t:g}" for t in result.taus])
+        for f in result.fractions:
+            writer.writerow([f] + result.row(f))
+        means = result.column_means()
+        writer.writerow(["mean"] + [means[t] for t in result.taus])
+    return p
+
+
+def cdf_to_csv(values, probs, path: PathLike) -> Path:
+    """Write an empirical CDF as (payoff, cumulative probability) rows."""
+    if len(values) != len(probs):
+        raise ValueError("values and probs must align")
+    p = _prepare(path)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["payoff", "cumulative_probability"])
+        for v, q in zip(values, probs):
+            writer.writerow([float(v), float(q)])
+    return p

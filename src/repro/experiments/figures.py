@@ -1,0 +1,190 @@
+"""Regenerators for every figure in the paper's evaluation (§3).
+
+Each ``figureN`` function runs the simulations behind the corresponding
+paper figure and returns a structured result (series data, no plotting —
+the benchmarks print paper-style rows; callers may plot if they wish).
+
+Scale knobs: ``preset='paper'`` uses the §3 workload (N=40, 100 pairs,
+2000 transmissions); ``preset='quick'`` shrinks the workload ~10x for CI
+runs while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import payoff_cdf
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    SweepResult,
+    metric_average_good_payoff,
+    metric_forwarder_set_size,
+    pooled_good_payoffs,
+    run_replicates,
+    sweep,
+)
+
+#: Fractions of malicious nodes swept in Figures 3-5.
+DEFAULT_FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def base_config(preset: str = "quick", **overrides) -> ExperimentConfig:
+    """The §3 baseline configuration at the requested scale."""
+    if preset == "paper":
+        cfg = ExperimentConfig()
+    elif preset == "quick":
+        cfg = ExperimentConfig(
+            n_pairs=20,
+            total_transmissions=400,
+        )
+    else:
+        raise ValueError(f"unknown preset {preset!r}")
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+@dataclass
+class PayoffVsFraction:
+    """Figures 3 / 4: mean good-node payoff vs fraction of adversaries."""
+
+    strategy: str
+    fractions: List[float]
+    means: List[float]
+    ci95: List[float]
+
+    def rows(self) -> List[Tuple[float, float, float]]:
+        return list(zip(self.fractions, self.means, self.ci95))
+
+
+def _payoff_vs_fraction(
+    strategy: str,
+    fractions: Sequence[float],
+    preset: str,
+    n_seeds: int,
+    seed0: int,
+) -> PayoffVsFraction:
+    cfg = base_config(preset, strategy=strategy)
+    res: SweepResult = sweep(
+        cfg,
+        "malicious_fraction",
+        list(fractions),
+        metric_average_good_payoff,
+        metric_name="avg_good_payoff",
+        n_seeds=n_seeds,
+        seed0=seed0,
+    )
+    return PayoffVsFraction(
+        strategy=strategy,
+        fractions=[float(v) for v in res.xs()],
+        means=res.means(),
+        ci95=res.cis(),
+    )
+
+
+def figure3(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    preset: str = "quick",
+    n_seeds: int = 3,
+    seed0: int = 0,
+) -> PayoffVsFraction:
+    """Figure 3: average payoff for a non-malicious node, Utility Model I."""
+    return _payoff_vs_fraction("utility-I", fractions, preset, n_seeds, seed0)
+
+
+def figure4(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    preset: str = "quick",
+    n_seeds: int = 3,
+    seed0: int = 0,
+) -> PayoffVsFraction:
+    """Figure 4: average payoff for a non-malicious node, Utility Model II."""
+    return _payoff_vs_fraction("utility-II", fractions, preset, n_seeds, seed0)
+
+
+@dataclass
+class ForwarderSetComparison:
+    """Figure 5: average forwarder-set size per strategy vs fraction f."""
+
+    fractions: List[float]
+    #: strategy -> mean sizes aligned with ``fractions``.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    ci95: Dict[str, List[float]] = field(default_factory=dict)
+
+    def rows(self) -> List[Tuple[float, Dict[str, float]]]:
+        return [
+            (f, {s: self.series[s][i] for s in self.series})
+            for i, f in enumerate(self.fractions)
+        ]
+
+
+def figure5(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    strategies: Sequence[str] = ("random", "utility-I", "utility-II"),
+    preset: str = "quick",
+    n_seeds: int = 3,
+    seed0: int = 0,
+) -> ForwarderSetComparison:
+    """Figure 5: forwarder-set size under different routing strategies."""
+    out = ForwarderSetComparison(fractions=[float(f) for f in fractions])
+    for strategy in strategies:
+        cfg = base_config(preset, strategy=strategy)
+        res = sweep(
+            cfg,
+            "malicious_fraction",
+            list(fractions),
+            metric_forwarder_set_size,
+            metric_name="forwarder_set",
+            n_seeds=n_seeds,
+            seed0=seed0,
+        )
+        out.series[strategy] = res.means()
+        out.ci95[strategy] = res.cis()
+    return out
+
+
+@dataclass
+class PayoffCDF:
+    """Figures 6 / 7: payoff CDF per strategy at a fixed fraction f."""
+
+    fraction: float
+    #: strategy -> (sorted payoffs, cumulative probabilities).
+    cdfs: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for s, (vals, _p) in self.cdfs.items():
+            out[s] = {
+                "mean": float(np.mean(vals)),
+                "max": float(np.max(vals)),
+                "std": float(np.std(vals)),
+            }
+        return out
+
+
+def payoff_cdf_at_fraction(
+    fraction: float,
+    strategies: Sequence[str] = ("random", "utility-I", "utility-II"),
+    preset: str = "quick",
+    n_seeds: int = 3,
+    seed0: int = 0,
+) -> PayoffCDF:
+    """Payoff CDFs for all strategies at one adversary fraction."""
+    out = PayoffCDF(fraction=fraction)
+    for strategy in strategies:
+        cfg = base_config(preset, strategy=strategy, malicious_fraction=fraction)
+        results = run_replicates(cfg, n_seeds, seed0=seed0)
+        pooled = pooled_good_payoffs(results)
+        out.cdfs[strategy] = payoff_cdf(pooled)
+    return out
+
+
+def figure6(preset: str = "quick", n_seeds: int = 3, seed0: int = 0) -> PayoffCDF:
+    """Figure 6: CDF of good-node payoffs at f = 0.1."""
+    return payoff_cdf_at_fraction(0.1, preset=preset, n_seeds=n_seeds, seed0=seed0)
+
+
+def figure7(preset: str = "quick", n_seeds: int = 3, seed0: int = 0) -> PayoffCDF:
+    """Figure 7: CDF of good-node payoffs at f = 0.5."""
+    return payoff_cdf_at_fraction(0.5, preset=preset, n_seeds=n_seeds, seed0=seed0)

@@ -1,0 +1,139 @@
+"""Initiator-side contract planning (§2.2, eq. 2).
+
+"Depending on its anonymity requirements, the initiator can select
+appropriate values for P_f and P_r."  The initiator's utility is
+
+    U_I = A(||pi||) - cost(payments)            (eq. 2)
+
+with ``A`` decreasing in the forwarder-set size.  The planner makes that
+selection executable: it probes a grid of (P_f, tau) pairs with short
+calibration simulations, measures the realised forwarder-set size and
+payment outlay for each, evaluates U_I, and returns the grid ranked by
+utility.
+
+The interesting economics: too-small P_f fails Proposition 3's condition
+(peers decline, rounds fail, anonymity collapses); large P_f buys no
+extra anonymity but costs linearly.  The optimum is interior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.utility import anonymity_payoff
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_replicates
+
+
+@dataclass(frozen=True)
+class ContractPlan:
+    """One probed grid point."""
+
+    pf: float
+    tau: float
+    mean_set_size: float
+    mean_outlay: float
+    failed_round_fraction: float
+    initiator_utility: float
+
+    def row(self) -> List[str]:
+        return [
+            f"{self.pf:.0f}",
+            f"{self.tau:g}",
+            f"{self.mean_set_size:.1f}",
+            f"{self.mean_outlay:.0f}",
+            f"{self.failed_round_fraction:.2f}",
+            f"{self.initiator_utility:.0f}",
+        ]
+
+
+@dataclass
+class PlannerResult:
+    plans: List[ContractPlan]
+
+    @property
+    def best(self) -> ContractPlan:
+        return max(self.plans, key=lambda p: p.initiator_utility)
+
+    def ranked(self) -> List[ContractPlan]:
+        return sorted(self.plans, key=lambda p: -p.initiator_utility)
+
+
+def evaluate_contract(
+    pf: float,
+    tau: float,
+    base: ExperimentConfig,
+    anonymity_scale: float,
+    n_seeds: int = 2,
+    seed0: int = 0,
+) -> ContractPlan:
+    """Probe one (P_f, tau) point with calibration simulations.
+
+    ``U_I`` is evaluated per series with the *realised* outlay (what the
+    settlement actually paid) and averaged; failed rounds contribute the
+    anonymity payoff of a degenerate (size ``n_nodes``) set — failure is
+    worst-case anonymity, not free.
+    """
+    if pf < 0 or tau < 0:
+        raise ValueError("pf and tau must be non-negative")
+    cfg = base.with_overrides(pf_range=(pf, pf), tau=tau)
+    utilities: List[float] = []
+    sizes: List[float] = []
+    outlays: List[float] = []
+    failed = 0
+    total_rounds = 0
+    for result in run_replicates(cfg, n_seeds, seed0=seed0):
+        for stats in result.series_stats:
+            settlement = result.series_settlements.get(stats.cid, {})
+            total_rounds += stats.rounds_completed + stats.failed_rounds
+            failed += stats.failed_rounds
+            if stats.rounds_completed == 0 or stats.forwarder_set_size == 0:
+                utilities.append(
+                    anonymity_payoff(cfg.n_nodes, scale=anonymity_scale)
+                )
+                continue
+            outlay = sum(settlement.values())
+            a = anonymity_payoff(stats.forwarder_set_size, scale=anonymity_scale)
+            utilities.append(a - outlay)
+            sizes.append(stats.forwarder_set_size)
+            outlays.append(outlay)
+    return ContractPlan(
+        pf=pf,
+        tau=tau,
+        mean_set_size=float(np.mean(sizes)) if sizes else 0.0,
+        mean_outlay=float(np.mean(outlays)) if outlays else 0.0,
+        failed_round_fraction=failed / total_rounds if total_rounds else 1.0,
+        initiator_utility=float(np.mean(utilities)),
+    )
+
+
+def plan_contract(
+    pf_grid: Sequence[float],
+    tau_grid: Sequence[float],
+    base: "ExperimentConfig | None" = None,
+    anonymity_scale: float = 60_000.0,
+    n_seeds: int = 2,
+    seed0: int = 0,
+) -> PlannerResult:
+    """Probe the full (P_f, tau) grid and rank by initiator utility.
+
+    ``anonymity_scale`` expresses the initiator's anonymity requirement
+    in currency units: how much a size-1 forwarder set would be worth
+    (§2.2 footnote 4 leaves ``A`` free; the scale trades anonymity
+    against payment cost).
+    """
+    if not pf_grid or not tau_grid:
+        raise ValueError("grids must be non-empty")
+    if base is None:
+        base = ExperimentConfig(
+            n_pairs=6, total_transmissions=60, use_bank=False
+        )
+    plans = [
+        evaluate_contract(pf, tau, base, anonymity_scale, n_seeds, seed0)
+        for pf in pf_grid
+        for tau in tau_grid
+    ]
+    return PlannerResult(plans=plans)

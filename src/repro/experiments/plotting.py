@@ -1,0 +1,112 @@
+"""Terminal plotting: render figure data as ASCII charts.
+
+The reproduction is headless (no matplotlib), but the *figures* still
+deserve a visual rendering: :func:`line_plot` draws multi-series (x, y)
+data on a character canvas, :func:`cdf_plot` specialises it for the
+payoff CDFs of Figures 6-7.  Used by the CLI's ``figure --plot`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Series glyphs, in assignment order.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(frac * (size - 1)))))
+
+
+def line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot named (xs, ys) series on one canvas.
+
+    Returns a multi-line string: title, canvas with y-axis ticks, x-axis
+    with min/max ticks, and a marker legend.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y lengths differ")
+        if len(xs) == 0:
+            raise ValueError(f"series {name!r} is empty")
+        all_x.extend(float(v) for v in xs)
+        all_y.extend(float(v) for v in ys)
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            col = _scale(float(x), x_lo, x_hi, width)
+            row = height - 1 - _scale(float(y), y_lo, y_hi, height)
+            canvas[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = {0: y_hi, height - 1: y_lo, (height - 1) // 2: (y_hi + y_lo) / 2}
+    for r, row in enumerate(canvas):
+        tick = y_ticks.get(r)
+        label = f"{tick:10.2f} |" if tick is not None else " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "-" * width)
+    x_axis = f"{x_lo:<.3g}".ljust(width - 8) + f"{x_hi:>.3g}"
+    lines.append(" " * 11 + x_axis)
+    lines.append(f"   x: {x_label}   y: {y_label}   [{', '.join(legend)}]")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    cdfs: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render payoff CDFs (Figures 6-7 style): x = payoff, y = P(X <= x)."""
+    return line_plot(
+        cdfs,
+        width=width,
+        height=height,
+        title=title,
+        x_label="payoff",
+        y_label="P(X <= x)",
+    )
+
+
+def payoff_vs_fraction_plot(fig, title: str = "") -> str:
+    """Render a Figure-3/4 style result (PayoffVsFraction)."""
+    return line_plot(
+        {fig.strategy: (fig.fractions, fig.means)},
+        title=title or f"avg good-node payoff vs f ({fig.strategy})",
+        x_label="fraction of malicious nodes f",
+        y_label="avg payoff",
+    )
+
+
+def forwarder_sets_plot(fig, title: str = "") -> str:
+    """Render a Figure-5 style result (ForwarderSetComparison)."""
+    return line_plot(
+        {name: (fig.fractions, ys) for name, ys in sorted(fig.series.items())},
+        title=title or "forwarder-set size vs f by strategy",
+        x_label="fraction of malicious nodes f",
+        y_label="||pi||",
+    )

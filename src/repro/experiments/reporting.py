@@ -1,0 +1,105 @@
+"""Plain-text rendering of figure/table results, paper-style."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.figures import ForwarderSetComparison, PayoffCDF, PayoffVsFraction
+from repro.experiments.tables import PAPER_TABLE2, PAPER_TABLE2_MEANS, Table2Result
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Minimal fixed-width table formatter."""
+    cols = [ [str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers) ]
+    widths = [max(len(c) for c in col) for col in cols]
+    def fmt_row(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append(fmt_row(r))
+    return "\n".join(lines)
+
+
+def render_payoff_vs_fraction(result: PayoffVsFraction, figure_name: str) -> str:
+    """Figure 3/4-style table: f, mean payoff, 95% CI."""
+    rows = [
+        (f"{f:.1f}", f"{m:.1f}", f"+-{c:.1f}")
+        for f, m, c in result.rows()
+    ]
+    return format_table(
+        ["f", "avg payoff", "95% CI"],
+        rows,
+        title=f"{figure_name}: average payoff for a non-malicious node "
+        f"({result.strategy})",
+    )
+
+
+def render_forwarder_sets(result: ForwarderSetComparison) -> str:
+    """Figure 5-style table: forwarder-set size per strategy and f."""
+    strategies = sorted(result.series)
+    rows = []
+    for i, f in enumerate(result.fractions):
+        rows.append(
+            [f"{f:.1f}"] + [f"{result.series[s][i]:.2f}" for s in strategies]
+        )
+    return format_table(
+        ["f"] + strategies,
+        rows,
+        title="Figure 5: average size of the forwarder set by routing strategy",
+    )
+
+
+def render_payoff_cdf(result: PayoffCDF, figure_name: str, quantiles=(0.25, 0.5, 0.75, 0.9, 1.0)) -> str:
+    """Figure 6/7-style table: payoff quantiles/mean/std per strategy."""
+    import numpy as np
+
+    strategies = sorted(result.cdfs)
+    rows = []
+    for q in quantiles:
+        row = [f"p{int(q*100)}"]
+        for s in strategies:
+            vals, _ = result.cdfs[s]
+            row.append(f"{float(np.quantile(vals, q)):.1f}")
+        rows.append(row)
+    stats = result.stats()
+    rows.append(["mean"] + [f"{stats[s]['mean']:.1f}" for s in strategies])
+    rows.append(["std"] + [f"{stats[s]['std']:.1f}" for s in strategies])
+    return format_table(
+        ["quantile"] + strategies,
+        rows,
+        title=f"{figure_name}: CDF of payoff for good nodes (f={result.fraction})",
+    )
+
+
+def render_table2(result: Table2Result, include_paper: bool = True) -> str:
+    """Table 2 grid, optionally alongside the paper's printed values."""
+    headers = ["f"] + [f"tau={t:g}" for t in result.taus]
+    rows = []
+    for f in result.fractions:
+        rows.append([f"{f:.1f}"] + [f"{v:.0f}" for v in result.row(f)])
+    means = result.column_means()
+    rows.append(["mean"] + [f"{means[t]:.0f}" for t in result.taus])
+    text = format_table(
+        headers, rows, title="Table 2: routing efficiency for utility model I"
+    )
+    if include_paper:
+        paper_rows = []
+        for f in result.fractions:
+            paper_rows.append(
+                [f"{f:.1f}"]
+                + [f"{PAPER_TABLE2.get((f, t), float('nan')):.0f}" for t in result.taus]
+            )
+        paper_rows.append(
+            ["mean"]
+            + [f"{PAPER_TABLE2_MEANS.get(t, float('nan')):.0f}" for t in result.taus]
+        )
+        text += "\n\n" + format_table(
+            headers, paper_rows, title="(paper's printed values, for comparison)"
+        )
+    return text

@@ -1,0 +1,581 @@
+"""Scenario orchestration: wire every subsystem together and run one
+simulation end-to-end.
+
+The flow (matching §3's setup):
+
+1. bootstrap an overlay of N nodes, a fraction ``f`` flagged malicious;
+2. start churn lifecycles (endpoints optionally pinned online) and the
+   active prober;
+3. pick ``n_pairs`` (I, R) pairs and give each a contract with ``P_f``
+   drawn from [50, 100] and ``P_r = tau * P_f``;
+4. each pair runs its recurring rounds as a simulation process (rounds
+   separated by jittered gaps, so churn interleaves with forwarding);
+5. at series end the initiator settles through the bank escrow (or a
+   direct transfer table when ``use_bank=False``);
+6. per-node payoffs (earnings - costs) and per-series statistics are
+   collected into a :class:`ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.contracts import Contract, draw_contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.metrics import ConnectionSeriesStats
+from repro.core.path import SeriesLog
+from repro.core.protocol import ConnectionSeries, HopEvent, PathBuilder, TerminationPolicy
+from repro.core.routing import RandomRouting, strategy_by_name
+from repro.experiments.config import ExperimentConfig
+from repro.network.bandwidth import BandwidthModel
+from repro.network.churn import ChurnModel, node_lifecycle
+from repro.network.overlay import Overlay
+from repro.network.probing import ActiveProber
+from repro.payment.bank import Bank
+from repro.payment.escrow import SeriesEscrow
+from repro.sim.distributions import Exponential, Pareto
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the harness needs from one run."""
+
+    config: ExperimentConfig
+    #: Net payoff (earnings - transmission costs - participation cost) per node.
+    payoffs: Dict[int, float]
+    #: Gross earnings per node (settlement income only).
+    earnings: Dict[int, float]
+    #: Cost per node (transmission + participation).
+    costs: Dict[int, float]
+    series_stats: List[ConnectionSeriesStats]
+    series_logs: List[SeriesLog]
+    #: Per-series settlement maps keyed by cid (node -> amount paid).
+    series_settlements: Dict[int, Dict[int, float]]
+    good_node_ids: Set[int]
+    malicious_node_ids: Set[int]
+    pinned_ids: Set[int]
+    total_reformations: int
+    sim_duration: float
+    bank_audit_ok: Optional[bool]
+    overlay: Overlay = field(repr=False, default=None)
+    #: Simulation times at which each series' rounds were issued
+    #: (cid -> times); feeds the intersection-attack evaluation.
+    round_times: Dict[int, List[float]] = field(default_factory=dict)
+    #: Route-validation counters (only populated when
+    #: ``config.validate_routes``): rounds validated / failed validation.
+    routes_validated: int = 0
+    routes_invalid: int = 0
+    #: Per-round (payload latency, round-trip latency) pairs in simulated
+    #: minutes (only populated when ``config.temporal_forwarding``).
+    round_latencies: List[Tuple[float, float]] = field(default_factory=list)
+
+    def mean_payload_latency(self) -> float:
+        if not self.round_latencies:
+            raise ValueError("temporal forwarding was not enabled")
+        return float(np.mean([p for p, _rt in self.round_latencies]))
+
+    def good_payoffs(self, include_pinned: bool = False) -> List[float]:
+        """Total net payoff per non-malicious node (CDF figures 6-7).
+
+        The paper's skew argument ("if a peer is selected ... it is very
+        likely that it will be selected again for future connections")
+        concerns cumulative per-node income, so the CDFs use totals.
+        """
+        skip = set() if include_pinned else self.pinned_ids
+        return [
+            self.payoffs.get(n, 0.0)
+            for n in sorted(self.good_node_ids - skip)
+        ]
+
+    def good_series_payoffs(self) -> List[float]:
+        """Settlement received per (good forwarder, series) pair.
+
+        This is the paper's figure-3/4 payoff: ``m*P_f + P_r/||pi||`` for
+        one series membership.  It falls as the adversary fraction grows
+        because random routing inflates ``||pi||``, diluting both the
+        shared routing benefit and each member's instance count — the
+        mechanism §3 describes for the payoff decline.
+        """
+        out: List[float] = []
+        for settlement in self.series_settlements.values():
+            for node, amount in settlement.items():
+                if node in self.good_node_ids:
+                    out.append(amount)
+        return out
+
+    def average_good_series_payoff(self) -> float:
+        p = self.good_series_payoffs()
+        return float(np.mean(p)) if p else 0.0
+
+    def forwarder_set_sizes(self) -> List[int]:
+        return [s.forwarder_set_size for s in self.series_stats if s.rounds_completed]
+
+    def average_forwarder_set_size(self) -> float:
+        sizes = self.forwarder_set_sizes()
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    def average_good_payoff(self) -> float:
+        p = self.good_payoffs()
+        return float(np.mean(p)) if p else 0.0
+
+    def average_path_quality(self) -> float:
+        q = [s.path_quality for s in self.series_stats if s.rounds_completed]
+        return float(np.mean(q)) if q else 0.0
+
+    def intersection_anonymity(self, max_pairs: Optional[int] = None) -> Dict[str, float]:
+        """Mount the §2.1 intersection attack against every pair.
+
+        For each series, the attacker observes the online population at
+        that pair's round times and intersects.  Returns the mean
+        anonymity degree (1 = no information gained, 0 = identified) and
+        the fraction of initiators fully exposed.
+        """
+        from repro.adversary.intersection import IntersectionAttack
+
+        degrees: List[float] = []
+        exposed = 0
+        evaluated = 0
+        for s in self.series_stats[: max_pairs or len(self.series_stats)]:
+            times = self.round_times.get(s.cid)
+            if not times:
+                continue
+            attack = IntersectionAttack(
+                trace=self.overlay.trace,
+                initiator=s.initiator,
+                excluded=frozenset({s.responder}),
+            )
+            res = attack.observe_rounds(times)
+            degrees.append(res.anonymity_degree)
+            exposed += int(res.exposed)
+            evaluated += 1
+        if evaluated == 0:
+            raise ValueError("no series with recorded round times")
+        return {
+            "mean_anonymity_degree": float(np.mean(degrees)),
+            "exposure_rate": exposed / evaluated,
+            "pairs_evaluated": float(evaluated),
+        }
+
+    def payoff_gini(self) -> float:
+        """Gini coefficient of good-node earnings (income concentration;
+        the quantified version of the figure-6/7 skew)."""
+        from repro.core.metrics import gini_coefficient
+
+        values = [
+            max(0.0, self.earnings.get(n, 0.0)) for n in sorted(self.good_node_ids)
+        ]
+        return gini_coefficient(values)
+
+    def predecessor_attack_summary(self) -> Dict[str, float]:
+        """Run the pooled predecessor attack (malicious coalition) against
+        every series; report how often the modal predecessor is the true
+        initiator and the attacker's mean confidence."""
+        from repro.adversary.traffic_analysis import PredecessorAttack
+
+        coalition = frozenset(self.malicious_node_ids)
+        attack = PredecessorAttack(coalition=coalition)
+        for log in self.series_logs:
+            for path in log.paths:
+                attack.ingest_path(path)
+        correct = 0
+        confidences: List[float] = []
+        evaluated = 0
+        for log in self.series_logs:
+            guess = attack.guess_initiator(log.cid)
+            if guess is None:
+                continue
+            evaluated += 1
+            correct += int(guess == log.initiator)
+            confidences.append(attack.confidence(log.cid))
+        return {
+            "series_evaluated": float(evaluated),
+            "identification_rate": correct / evaluated if evaluated else 0.0,
+            "mean_confidence": float(np.mean(confidences)) if confidences else 0.0,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario seed={self.config.seed} strategy={self.config.strategy} "
+            f"f={self.config.malicious_fraction} tau={self.config.tau}",
+            f"  series: {len(self.series_stats)}  "
+            f"rounds: {sum(s.rounds_completed for s in self.series_stats)}  "
+            f"failed: {sum(s.failed_rounds for s in self.series_stats)}  "
+            f"reformations: {self.total_reformations}",
+            f"  avg forwarder set: {self.average_forwarder_set_size():.2f}  "
+            f"avg path quality Q(pi): {self.average_path_quality():.3f}",
+            f"  avg good-node payoff: {self.average_good_payoff():.1f}",
+            f"  sim duration: {self.sim_duration:.0f} min  "
+            f"bank audit: {self.bank_audit_ok}",
+        ]
+        return "\n".join(lines)
+
+
+def run_scenario(config: ExperimentConfig) -> ScenarioResult:
+    """Run one full simulation described by ``config``."""
+    streams = RandomStreams(config.seed)
+    env = Environment()
+
+    overlay = Overlay(rng=streams["overlay"], degree=config.degree)
+    overlay.bootstrap(
+        config.n_nodes,
+        now=env.now,
+        malicious_fraction=config.malicious_fraction,
+        participation_cost=config.participation_cost,
+    )
+    if config.topology != "random":
+        from repro.network.topology import build_topology, install_topology
+
+        install_topology(
+            overlay,
+            build_topology(
+                config.topology, config.n_nodes, config.degree, streams["topology"]
+            ),
+        )
+
+    bandwidth = BandwidthModel(
+        rng=streams["bandwidth"],
+        min_bandwidth=config.min_bandwidth,
+        max_bandwidth=config.max_bandwidth,
+        unit_cost=config.unit_cost,
+    )
+    cost_model = CostModel(bandwidth=bandwidth)
+    histories = {nid: HistoryProfile(nid) for nid in overlay.nodes}
+
+    # ---- workload: (I, R) pairs -------------------------------------
+    pair_rng = streams["pairs"]
+    pairs = _select_pairs(overlay, config.n_pairs, pair_rng)
+    pinned: Set[int] = set()
+    if config.pin_endpoints:
+        for i, r in pairs:
+            pinned.add(i)
+            pinned.add(r)
+
+    # ---- churn -------------------------------------------------------
+    earnings: Dict[int, float] = {}
+    #: Forwarding income accrued per hop (claims not yet settled).  The
+    #: incentive->availability coupling keys off accrued + settled income:
+    #: a rational peer stays online for income it is *earning*, not only
+    #: income already banked.
+    accrued: Dict[int, float] = {}
+
+    def incentive_session_scale(node_id: int) -> float:
+        """Earnings-coupled availability: earners stay online longer."""
+        own = earnings.get(node_id, 0.0) + accrued.get(node_id, 0.0)
+        if own <= 0.0:
+            return 1.0
+        totals = [
+            earnings.get(n, 0.0) + accrued.get(n, 0.0)
+            for n in set(earnings) | set(accrued)
+        ]
+        positive = [v for v in totals if v > 0]
+        mean = sum(positive) / len(positive)
+        ratio = min(own / mean, config.churn.incentive_coupling_cap)
+        return 1.0 + config.churn.incentive_coupling * ratio
+
+    if config.churn.enabled:
+        churn_model = ChurnModel(
+            session=Pareto.with_median(
+                config.churn.session_median, shape=config.churn.session_shape
+            ),
+            offtime=Exponential(mean=config.churn.offtime_mean),
+            depart_prob=config.churn.depart_prob,
+            arrival_rate=config.churn.arrival_rate,
+        )
+        churn_rng = streams["churn"]
+        scale = (
+            incentive_session_scale
+            if config.churn.incentive_coupling > 0
+            else None
+        )
+        for nid in overlay.online_ids():
+            if nid in pinned:
+                continue
+            env.process(
+                node_lifecycle(
+                    env, overlay, nid, churn_model, churn_rng, session_scale=scale
+                )
+            )
+
+    discovery = None
+    on_period = None
+    if config.discovery == "gossip":
+        from repro.network.gossip import GossipMembership
+
+        gossip = GossipMembership(overlay=overlay, rng=streams["gossip"])
+        gossip.bootstrap_from_neighbors()
+        discovery = gossip.discover
+        on_period = gossip.run_round
+    prober = ActiveProber(
+        overlay=overlay,
+        period=config.probe_period,
+        rng=streams["probe"],
+        discovery=discovery,
+        on_period=on_period,
+    )
+    env.process(prober.run(env))
+
+    # ---- cost accounting ---------------------------------------------
+    transmission_costs: Dict[int, float] = {}
+    participated: Set[int] = set()
+
+    contracts_by_cid: Dict[int, Contract] = {}
+
+    def on_hop(event: HopEvent) -> None:
+        c = cost_model.transmission_cost(
+            event.sender, event.receiver, config.payload_size
+        )
+        transmission_costs[event.sender] = (
+            transmission_costs.get(event.sender, 0.0) + c
+        )
+        participated.add(event.sender)
+        # Wire cids under rotation are series_cid * 2**20 + epoch.
+        contract = contracts_by_cid.get(event.cid) or contracts_by_cid.get(
+            event.cid // 2**20
+        )
+        if contract is not None:
+            accrued[event.sender] = (
+                accrued.get(event.sender, 0.0) + contract.forwarding_benefit
+            )
+
+    # ---- path building --------------------------------------------------
+    if config.termination == "crowds":
+        termination = TerminationPolicy.crowds(config.forward_probability)
+    else:
+        termination = TerminationPolicy.hop_ttl(config.ttl)
+    strategy_kwargs = {"lookahead": config.lookahead} if config.strategy == "utility-II" else {}
+    guard_registry = None
+    if config.use_guards:
+        from repro.core.defenses import GuardRegistry
+
+        guard_registry = GuardRegistry(overlay=overlay, rng=streams["guards"])
+    if config.adversary_mode == "mimic":
+        adversary_strategy = strategy_by_name(config.strategy, **strategy_kwargs)
+    else:
+        adversary_strategy = RandomRouting()
+    builder = PathBuilder(
+        overlay=overlay,
+        cost_model=cost_model,
+        histories=histories,
+        rng=streams["routing"],
+        good_strategy=strategy_by_name(config.strategy, **strategy_kwargs),
+        adversary_strategy=adversary_strategy,
+        termination=termination,
+        weights=config.weights,
+        max_path_length=config.max_path_length,
+        max_attempts=config.max_attempts,
+        loss_probability=config.loss_probability,
+        guard_registry=guard_registry,
+        hop_listener=on_hop,
+    )
+
+    # ---- bank -------------------------------------------------------------
+    bank: Optional[Bank] = None
+    if config.use_bank:
+        bank = Bank(
+            rng=streams["bank"],
+            denominations=tuple(2**k for k in range(17)),
+            key_bits=config.bank_key_bits,
+        )
+        for nid in overlay.nodes:
+            bank.open_account(nid, endowment=0.0)
+        # Initiators carry the working capital: at least the worst-case
+        # series outlay (every round at the maximum path length and P_f),
+        # so no workload configuration can bounce a settlement.
+        worst_case_series = (
+            config.rounds_per_pair
+            * config.max_path_length
+            * config.pf_range[1]
+            * 1.1
+            + config.tau * config.pf_range[1]
+        )
+        per_pair = max(config.endowment / max(1, len(pairs)), worst_case_series)
+        for i, _r in pairs:
+            bank.ledger.mint(i, per_pair)
+
+    # ---- run the pairs as processes ------------------------------------
+    all_series: List[ConnectionSeries] = []
+    series_settlements: Dict[int, Dict[int, float]] = {}
+    contract_rng = streams["contracts"]
+    round_rng = streams["rounds"]
+    rounds = config.rounds_per_pair
+
+    round_times: Dict[int, List[float]] = {}
+    round_latencies: List[Tuple[float, float]] = []
+    transport = None
+    if config.temporal_forwarding:
+        from repro.network.transport import TransportNetwork
+
+        transport = TransportNetwork(
+            env=env,
+            bandwidth=bandwidth,
+            propagation_delay=config.propagation_delay,
+            processing_delay=config.processing_delay,
+        )
+    validation_counts = {"ok": 0, "bad": 0}
+    ephemeral_keys: Dict[int, object] = {}
+    if config.validate_routes:
+        from repro.payment.crypto import RSAKeyPair
+
+        # One ephemeral key pair per series (fresh keys are what keep the
+        # confirmation unlinkable to the initiator's identity).
+        for cid in range(1, len(pairs) + 1):
+            ephemeral_keys[cid] = RSAKeyPair.generate(
+                streams["ephemeral"], bits=config.bank_key_bits
+            )
+
+    def _validate_route(path) -> None:
+        from repro.core.secure_path import confirm_and_validate_path
+
+        if len(set(path.forwarders)) != len(path.forwarders):
+            # The chain validator is conservative about repeat forwarders
+            # (duplicate node records); such paths fall back to the
+            # plaintext path info and are not counted either way.
+            return
+        outcome = confirm_and_validate_path(
+            path, ephemeral_keys[path.cid], streams["ephemeral"]
+        )
+        if outcome.valid:
+            validation_counts["ok"] += 1
+        else:
+            validation_counts["bad"] += 1
+
+    def pair_process(cid: int, initiator: int, responder: int, contract: Contract):
+        rotator = None
+        if config.cid_rotation_epoch > 0:
+            from repro.core.defenses import CidRotator
+
+            rotator = CidRotator(series_cid=cid, epoch=config.cid_rotation_epoch)
+        series = ConnectionSeries(
+            cid=cid,
+            initiator=initiator,
+            responder=responder,
+            contract=contract,
+            builder=builder,
+            cid_rotator=rotator,
+        )
+        all_series.append(series)
+        # Stagger starts so pairs interleave with churn.
+        yield env.timeout(float(round_rng.uniform(0.0, config.inter_round_gap)))
+        for _ in range(rounds):
+            # The initiator only issues its recurring request while online:
+            # wait (bounded) for it to rejoin if churn took it away.
+            waited = 0
+            while (
+                not overlay.is_online(initiator)
+                and waited < config.initiator_wait_rounds
+            ):
+                yield env.timeout(config.probe_period)
+                waited += 1
+            round_times.setdefault(cid, []).append(env.now)
+            path = series.run_round()
+            if path is not None and config.validate_routes:
+                _validate_route(path)
+            if path is not None and transport is not None:
+                latencies = yield env.process(
+                    transport.send_along_path(
+                        path, payload_size=config.payload_size
+                    )
+                )
+                round_latencies.append(latencies)
+            gap = config.inter_round_gap * float(0.5 + round_rng.random())
+            yield env.timeout(gap)
+        _settle(series, initiator)
+
+    def _settle(series: ConnectionSeries, initiator: int) -> None:
+        payments = series.settlement()
+        series_settlements[series.cid] = dict(payments)
+        if not payments:
+            return
+        if bank is not None:
+            total = sum(payments.values())
+            escrow = SeriesEscrow(
+                bank=bank,
+                escrow_id=series.cid,
+                initiator_account=initiator,
+                budget=total,
+            )
+            escrow.open()
+            validated = series.log.total_instances()
+            escrow.settle(payments, validated_instances=validated, rng=streams["bank"])
+        for node, amount in payments.items():
+            earnings[node] = earnings.get(node, 0.0) + amount
+        # Settled claims stop being "accrued": the per-instance part of
+        # the payment converts to cash (floor at zero for safety).
+        instances = series.log.total_instances()
+        pf = series.contract.forwarding_benefit
+        for node, m in instances.items():
+            if node in accrued:
+                accrued[node] = max(0.0, accrued[node] - m * pf)
+
+    for cid, (i, r) in enumerate(pairs, start=1):
+        contract = draw_contract(
+            contract_rng,
+            tau=config.tau,
+            pf_range=config.pf_range,
+            payload_size=config.payload_size,
+        )
+        contracts_by_cid[cid] = contract
+        env.process(pair_process(cid, i, r, contract))
+
+    # Run until all workload processes finish (plus prober/churn, which are
+    # infinite; stop when every series has attempted all rounds).
+    horizon = config.inter_round_gap * (rounds + 2) * 2.0
+    while True:
+        env.run(until=env.now + horizon)
+        if all(s.rounds_attempted >= rounds for s in all_series):
+            break
+
+    # ---- aggregate -------------------------------------------------------
+    costs: Dict[int, float] = dict(transmission_costs)
+    for nid in participated:
+        costs[nid] = costs.get(nid, 0.0) + overlay.nodes[nid].participation_cost
+    payoffs: Dict[int, float] = {}
+    for nid in set(earnings) | set(costs):
+        payoffs[nid] = earnings.get(nid, 0.0) - costs.get(nid, 0.0)
+
+    series_logs = [s.log for s in all_series]
+    stats = [ConnectionSeriesStats.from_log(log) for log in series_logs]
+    return ScenarioResult(
+        config=config,
+        payoffs=payoffs,
+        earnings=earnings,
+        costs=costs,
+        series_stats=stats,
+        series_logs=series_logs,
+        series_settlements=series_settlements,
+        good_node_ids={n.node_id for n in overlay.good_nodes()},
+        malicious_node_ids={n.node_id for n in overlay.malicious_nodes()},
+        pinned_ids=pinned,
+        total_reformations=builder.reformations,
+        sim_duration=env.now,
+        bank_audit_ok=(bank.audit() if bank is not None else None),
+        overlay=overlay,
+        round_times=round_times,
+        routes_validated=validation_counts["ok"],
+        routes_invalid=validation_counts["bad"],
+        round_latencies=round_latencies,
+    )
+
+
+def _select_pairs(
+    overlay: Overlay, n_pairs: int, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """Random (initiator, responder) pairs with distinct endpoints.
+
+    Pairs may reuse nodes across pairs (the paper draws 100 pairs from 40
+    nodes), but a pair's two endpoints always differ.
+    """
+    ids = overlay.online_ids()
+    if len(ids) < 2:
+        raise ValueError("need at least two online nodes to form pairs")
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(n_pairs):
+        i, r = rng.choice(ids, size=2, replace=False)
+        pairs.append((int(i), int(r)))
+    return pairs

@@ -1,0 +1,204 @@
+"""The full reproduction as one runnable suite.
+
+``run_suite()`` executes every paper artefact (Figures 3-7, Table 2,
+Proposition 1) at the requested scale, checks each artefact's
+qualitative shape, and renders a Markdown report — the programmatic
+equivalent of running the whole ``benchmarks/`` directory, usable from
+the CLI (``python -m repro suite``) or as a library call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.figures import (
+    DEFAULT_FRACTIONS,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.reporting import (
+    render_forwarder_sets,
+    render_payoff_cdf,
+    render_payoff_vs_fraction,
+    render_table2,
+)
+from repro.experiments.tables import table2
+
+
+@dataclass
+class ArtefactResult:
+    """One regenerated artefact with its shape-check verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+    rendered: str
+    seconds: float
+
+
+@dataclass
+class SuiteResult:
+    preset: str
+    n_seeds: int
+    artefacts: List[ArtefactResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(a.passed for a in self.artefacts)
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Reproduction suite report",
+            "",
+            f"preset: `{self.preset}`, seeds per point: {self.n_seeds}",
+            "",
+            "| artefact | shape check | time |",
+            "|---|---|---|",
+        ]
+        for a in self.artefacts:
+            verdict = "PASS" if a.passed else f"FAIL ({a.detail})"
+            lines.append(f"| {a.name} | {verdict} | {a.seconds:.1f}s |")
+        lines.append("")
+        for a in self.artefacts:
+            lines.append(f"## {a.name}")
+            lines.append("")
+            lines.append("```")
+            lines.append(a.rendered)
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _check_fig34(fig) -> Tuple[bool, str]:
+    means = np.asarray(fig.means)
+    if not np.all(means > 0):
+        return False, "non-positive payoffs"
+    slope = np.polyfit(fig.fractions, means, 1)[0]
+    if slope >= 0:
+        return False, f"payoff not decreasing (slope {slope:.1f})"
+    return True, "payoff declines with f"
+
+
+def _check_fig5(fig) -> Tuple[bool, str]:
+    rnd = np.asarray(fig.series["random"])
+    for s in ("utility-I", "utility-II"):
+        if not np.all(np.asarray(fig.series[s]) < rnd):
+            return False, f"{s} does not beat random everywhere"
+    return True, "utility < random at every f"
+
+
+def _check_cdf(fig) -> Tuple[bool, str]:
+    stats = fig.stats()
+    if stats["utility-I"]["max"] <= stats["random"]["max"]:
+        return False, "utility-I max payoff does not exceed random's"
+    if stats["utility-I"]["std"] <= stats["random"]["std"]:
+        return False, "utility-I variance does not exceed random's"
+    return True, "utility-I max & variance highest"
+
+
+def _check_table2(result) -> Tuple[bool, str]:
+    for tau in result.taus:
+        if result.cells[(0.1, tau)] <= result.cells[(0.9, tau)]:
+            return False, f"efficiency not declining for tau={tau:g}"
+    return True, "efficiency declines with f in every column"
+
+
+def run_suite(
+    preset: str = "quick",
+    n_seeds: int = 2,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteResult:
+    """Regenerate every paper artefact and check its shape."""
+    suite = SuiteResult(preset=preset, n_seeds=n_seeds)
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    def add(name: str, fn: Callable[[], Tuple[bool, str, str]]) -> None:
+        note(f"running {name} ...")
+        t0 = time.perf_counter()
+        passed, detail, rendered = fn()
+        suite.artefacts.append(
+            ArtefactResult(
+                name=name,
+                passed=passed,
+                detail=detail,
+                rendered=rendered,
+                seconds=time.perf_counter() - t0,
+            )
+        )
+
+    def fig3_fn():
+        fig = figure3(fractions=DEFAULT_FRACTIONS, preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_fig34(fig)
+        return ok, detail, render_payoff_vs_fraction(fig, "Figure 3")
+
+    def fig4_fn():
+        fig = figure4(fractions=DEFAULT_FRACTIONS, preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_fig34(fig)
+        return ok, detail, render_payoff_vs_fraction(fig, "Figure 4")
+
+    def fig5_fn():
+        fig = figure5(fractions=DEFAULT_FRACTIONS, preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_fig5(fig)
+        return ok, detail, render_forwarder_sets(fig)
+
+    def fig6_fn():
+        fig = figure6(preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_cdf(fig)
+        return ok, detail, render_payoff_cdf(fig, "Figure 6")
+
+    def fig7_fn():
+        fig = figure7(preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_cdf(fig)
+        return ok, detail, render_payoff_cdf(fig, "Figure 7")
+
+    def table2_fn():
+        result = table2(preset=preset, n_seeds=n_seeds)
+        ok, detail = _check_table2(result)
+        return ok, detail, render_table2(result)
+
+    def prop1_fn():
+        from repro.core.metrics import mean_new_edge_fraction
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_replicates
+
+        def logs(strategy):
+            base = ExperimentConfig(
+                n_pairs=10 if preset == "quick" else 100,
+                total_transmissions=200 if preset == "quick" else 2000,
+                strategy=strategy,
+                malicious_fraction=0.0,
+            )
+            out = []
+            for r in run_replicates(base, n_seeds):
+                out.extend(r.series_logs)
+            return out
+
+        random_x = mean_new_edge_fraction(logs("random"))
+        utility_x = mean_new_edge_fraction(logs("utility-I"))
+        ok = utility_x < random_x
+        detail = f"E[X]: random {random_x:.3f} vs utility {utility_x:.3f}"
+        rendered = (
+            "Proposition 1 - mean new-edge fraction per round\n"
+            f"  random routing:    {random_x:.3f}\n"
+            f"  utility-I routing: {utility_x:.3f}"
+        )
+        return ok, detail, rendered
+
+    add("Figure 3 (payoff vs f, utility-I)", fig3_fn)
+    add("Figure 4 (payoff vs f, utility-II)", fig4_fn)
+    add("Figure 5 (forwarder set by strategy)", fig5_fn)
+    add("Figure 6 (payoff CDF, f=0.1)", fig6_fn)
+    add("Figure 7 (payoff CDF, f=0.5)", fig7_fn)
+    add("Table 2 (routing efficiency)", table2_fn)
+    add("Proposition 1 (path reformations)", prop1_fn)
+    return suite

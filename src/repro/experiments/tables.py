@@ -1,0 +1,70 @@
+"""Table 2: routing efficiency for Utility Model I.
+
+Grid: adversary fraction ``f in {0.1, 0.5, 0.9}`` x ``tau in
+{0.5, 1, 2, 4}``; cell = routing efficiency (average good-node payoff /
+average forwarder-set size); final row = per-``tau`` column means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import base_config
+from repro.experiments.runner import metric_routing_efficiency, run_replicates
+
+PAPER_FRACTIONS = (0.1, 0.5, 0.9)
+PAPER_TAUS = (0.5, 1.0, 2.0, 4.0)
+
+#: The paper's printed Table 2, for paper-vs-measured reporting.
+PAPER_TABLE2: Dict[Tuple[float, float], float] = {
+    (0.1, 0.5): 409, (0.1, 1.0): 390, (0.1, 2.0): 391, (0.1, 4.0): 456,
+    (0.5, 0.5): 299, (0.5, 1.0): 298, (0.5, 2.0): 332, (0.5, 4.0): 306,
+    (0.9, 0.5): 85, (0.9, 1.0): 91, (0.9, 2.0): 72, (0.9, 4.0): 122,
+}
+PAPER_TABLE2_MEANS: Dict[float, float] = {0.5: 296, 1.0: 303, 2.0: 301, 4.0: 360}
+
+
+@dataclass
+class Table2Result:
+    fractions: List[float]
+    taus: List[float]
+    #: (f, tau) -> routing efficiency.
+    cells: Dict[Tuple[float, float], float] = field(default_factory=dict)
+
+    def column_means(self) -> Dict[float, float]:
+        return {
+            tau: float(np.mean([self.cells[(f, tau)] for f in self.fractions]))
+            for tau in self.taus
+        }
+
+    def row(self, f: float) -> List[float]:
+        return [self.cells[(f, tau)] for tau in self.taus]
+
+
+def table2(
+    fractions: Sequence[float] = PAPER_FRACTIONS,
+    taus: Sequence[float] = PAPER_TAUS,
+    strategy: str = "utility-I",
+    preset: str = "quick",
+    n_seeds: int = 3,
+    seed0: int = 0,
+) -> Table2Result:
+    """Regenerate Table 2 (routing efficiency grid for Utility Model I)."""
+    out = Table2Result(
+        fractions=[float(f) for f in fractions], taus=[float(t) for t in taus]
+    )
+    for f in out.fractions:
+        for tau in out.taus:
+            cfg: ExperimentConfig = base_config(
+                preset, strategy=strategy, malicious_fraction=f, tau=tau
+            )
+            samples = [
+                metric_routing_efficiency(r)
+                for r in run_replicates(cfg, n_seeds, seed0=seed0)
+            ]
+            out.cells[(f, tau)] = float(np.mean(samples))
+    return out

@@ -1,0 +1,73 @@
+"""Game-theoretic analysis substrate (§2.4).
+
+The paper models forwarding/routing as a finite multi-stage game with the
+peers as players.  This package provides the machinery to *state and
+check* those claims:
+
+- :mod:`~repro.gametheory.normal_form` — normal-form games over explicit
+  payoff tensors: best responses, dominant strategies, pure Nash
+  equilibria, iterated elimination of dominated strategies.
+- :mod:`~repro.gametheory.extensive_form` — finite extensive-form game
+  trees with backward induction (subgame-perfect equilibria).
+- :mod:`~repro.gametheory.forwarding_game` — constructors that express the
+  paper's forwarding stage game and the L-stage path-formation game in
+  those terms.
+- :mod:`~repro.gametheory.propositions` — Propositions 1-3 as executable
+  predicates/experiments.
+"""
+
+from repro.gametheory.extensive_form import GameTree, TreeNode, backward_induction
+from repro.gametheory.forwarding_game import (
+    FORWARD_NONRANDOM,
+    FORWARD_RANDOM,
+    NOT_PARTICIPATE,
+    build_forwarding_stage_game,
+    build_path_formation_game,
+)
+from repro.gametheory.mixed import (
+    expected_payoffs,
+    is_mixed_equilibrium,
+    solve_zero_sum,
+)
+from repro.gametheory.normal_form import NormalFormGame
+from repro.gametheory.repeated import (
+    RepeatedGame,
+    grim_trigger,
+    one_shot_deviation_profitable,
+    play,
+    tit_for_tat,
+)
+from repro.gametheory.propositions import (
+    Proposition1Result,
+    proposition1_experiment,
+    proposition2_condition,
+    proposition2_min_pf,
+    proposition3_condition,
+    proposition3_is_dominant,
+)
+
+__all__ = [
+    "FORWARD_NONRANDOM",
+    "FORWARD_RANDOM",
+    "GameTree",
+    "NOT_PARTICIPATE",
+    "NormalFormGame",
+    "RepeatedGame",
+    "TreeNode",
+    "expected_payoffs",
+    "grim_trigger",
+    "is_mixed_equilibrium",
+    "one_shot_deviation_profitable",
+    "play",
+    "solve_zero_sum",
+    "tit_for_tat",
+    "backward_induction",
+    "build_forwarding_stage_game",
+    "build_path_formation_game",
+    "Proposition1Result",
+    "proposition1_experiment",
+    "proposition2_condition",
+    "proposition2_min_pf",
+    "proposition3_condition",
+    "proposition3_is_dominant",
+]

@@ -1,0 +1,151 @@
+"""Finite extensive-form games and backward induction (SPNE).
+
+The path-formation process is "a finite multi-stage game ... such that at
+each stage only one player makes a move" (§2.4.3).  We represent it as an
+explicit game tree: decision nodes carry the moving player and a map
+action -> child; leaves carry the payoff vector.  Backward induction
+computes a subgame-perfect equilibrium (deterministic tie-break: the
+lexicographically smallest action label), the equilibrium path, and the
+value of every subgame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TreeNode:
+    """A node in the game tree.
+
+    Exactly one of (``children``, ``payoffs``) is populated: decision
+    nodes have children, terminal nodes have payoffs.
+    """
+
+    label: str
+    player: Optional[int] = None
+    children: Dict[str, "TreeNode"] = field(default_factory=dict)
+    payoffs: Optional[Tuple[float, ...]] = None
+
+    def is_terminal(self) -> bool:
+        return self.payoffs is not None
+
+    def validate(self, n_players: int) -> None:
+        if self.is_terminal():
+            if self.children:
+                raise ValueError(f"terminal node {self.label} has children")
+            if len(self.payoffs) != n_players:
+                raise ValueError(
+                    f"node {self.label}: payoff vector length "
+                    f"{len(self.payoffs)} != {n_players} players"
+                )
+            return
+        if not self.children:
+            raise ValueError(f"decision node {self.label} has no children")
+        if self.player is None or not 0 <= self.player < n_players:
+            raise ValueError(f"node {self.label}: invalid player {self.player}")
+        for child in self.children.values():
+            child.validate(n_players)
+
+
+@dataclass
+class GameTree:
+    """An extensive-form game with ``n_players`` and a root node."""
+
+    n_players: int
+    root: TreeNode
+
+    def __post_init__(self):
+        if self.n_players < 1:
+            raise ValueError("need at least one player")
+        self.root.validate(self.n_players)
+
+    def subgame_count(self) -> int:
+        """Number of decision nodes (each roots a subgame)."""
+
+        def count(node: TreeNode) -> int:
+            if node.is_terminal():
+                return 0
+            return 1 + sum(count(c) for c in node.children.values())
+
+        return count(self.root)
+
+
+@dataclass(frozen=True)
+class InductionResult:
+    """Outcome of backward induction."""
+
+    #: Chosen action at every decision node, keyed by node label.
+    strategy: Dict[str, str]
+    #: Payoff vector realised on the equilibrium path.
+    equilibrium_payoffs: Tuple[float, ...]
+    #: Action labels along the equilibrium path from the root.
+    equilibrium_path: Tuple[str, ...]
+    #: Subgame value (payoff vector) at every decision node.
+    subgame_values: Dict[str, Tuple[float, ...]]
+
+
+def backward_induction(game: GameTree) -> InductionResult:
+    """Solve the tree by backward induction.
+
+    At each decision node the moving player picks the action maximising
+    *their own* component of the child's induced payoff vector; ties go to
+    the lexicographically smallest action label (determinism).  The
+    returned strategy profile is subgame perfect by construction.
+    """
+    strategy: Dict[str, str] = {}
+    subgame_values: Dict[str, Tuple[float, ...]] = {}
+
+    def solve(node: TreeNode) -> Tuple[float, ...]:
+        if node.is_terminal():
+            return node.payoffs
+        best_action: Optional[str] = None
+        best_value: Optional[Tuple[float, ...]] = None
+        for action in sorted(node.children):
+            value = solve(node.children[action])
+            if (
+                best_value is None
+                or value[node.player] > best_value[node.player] + 1e-12
+            ):
+                best_action, best_value = action, value
+        strategy[node.label] = best_action
+        subgame_values[node.label] = best_value
+        return best_value
+
+    payoffs = solve(game.root)
+    # Walk the equilibrium path.
+    path: List[str] = []
+    node = game.root
+    while not node.is_terminal():
+        action = strategy[node.label]
+        path.append(action)
+        node = node.children[action]
+    return InductionResult(
+        strategy=strategy,
+        equilibrium_payoffs=payoffs,
+        equilibrium_path=tuple(path),
+        subgame_values=subgame_values,
+    )
+
+
+def is_subgame_perfect(game: GameTree, strategy: Dict[str, str]) -> bool:
+    """Check that ``strategy`` is an SPNE: at every decision node, the
+    prescribed action maximises the mover's continuation payoff assuming
+    the strategy is followed below."""
+
+    def value_under(node: TreeNode) -> Tuple[float, ...]:
+        if node.is_terminal():
+            return node.payoffs
+        return value_under(node.children[strategy[node.label]])
+
+    def check(node: TreeNode) -> bool:
+        if node.is_terminal():
+            return True
+        chosen_value = value_under(node.children[strategy[node.label]])
+        for action, child in node.children.items():
+            if value_under(child)[node.player] > chosen_value[node.player] + 1e-9:
+                return False
+        return all(check(c) for c in node.children.values())
+
+    return check(game.root)

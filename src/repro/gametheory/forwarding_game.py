@@ -1,0 +1,197 @@
+"""The paper's forwarding games, expressed as explicit game objects.
+
+Two constructions:
+
+- :func:`build_forwarding_stage_game` — the per-stage participation/
+  routing game of §2.4: each peer picks one of {not participate, forward
+  randomly, forward non-randomly}.  The routing benefit ``P_r`` is shared
+  by the realised forwarder set, whose size grows with every random
+  router — this is the externality that makes non-random routing the
+  aligned choice.
+- :func:`build_path_formation_game` — the L-stage extensive-form game of
+  §2.4.3 over a concrete mini-overlay: each reached node picks its
+  successor; payoffs realise the Model-II utilities on the completed
+  path.  Solving it with backward induction yields the SPNE the paper
+  derives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.contracts import Contract
+from repro.gametheory.extensive_form import GameTree, TreeNode
+from repro.gametheory.normal_form import NormalFormGame
+
+NOT_PARTICIPATE = "null"
+FORWARD_RANDOM = "random"
+FORWARD_NONRANDOM = "non-random"
+
+STAGE_STRATEGIES = (NOT_PARTICIPATE, FORWARD_RANDOM, FORWARD_NONRANDOM)
+
+
+@dataclass(frozen=True)
+class StageGameParams:
+    """Parameters of the symmetric stage game.
+
+    ``base_set_size`` is the forwarder-set size when everyone routes
+    non-randomly; each random router adds ``extra_per_random`` members
+    (random choices scatter over fresh nodes, §2.2's Figure 1 scenario).
+    ``quality_nonrandom``/``quality_random`` are the expected edge
+    qualities achieved by the two routing styles.
+    """
+
+    contract: Contract
+    cost: float = 2.0
+    base_set_size: int = 3
+    extra_per_random: int = 4
+    quality_nonrandom: float = 0.8
+    quality_random: float = 0.25
+
+    def __post_init__(self):
+        if self.cost < 0:
+            raise ValueError(f"negative cost {self.cost}")
+        if self.base_set_size < 1 or self.extra_per_random < 0:
+            raise ValueError("invalid forwarder-set parameters")
+        for q in (self.quality_nonrandom, self.quality_random):
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quality out of [0,1]: {q}")
+
+
+def build_forwarding_stage_game(
+    params: StageGameParams, n_players: int = 2
+) -> NormalFormGame:
+    """Symmetric n-player stage game over :data:`STAGE_STRATEGIES`.
+
+    Payoff of a participant: ``P_f + q * P_r / ||pi|| - C`` where ``q``
+    reflects its own routing style and ``||pi||`` grows with the number of
+    random routers (everyone shares the dilution).  Non-participants
+    earn 0.
+    """
+    if n_players < 1:
+        raise ValueError("need at least one player")
+    shape = (len(STAGE_STRATEGIES),) * n_players + (n_players,)
+    payoffs = np.zeros(shape)
+    c = params.contract
+    for profile in np.ndindex(*((len(STAGE_STRATEGIES),) * n_players)):
+        labels = [STAGE_STRATEGIES[s] for s in profile]
+        n_random = sum(1 for s in labels if s == FORWARD_RANDOM)
+        set_size = params.base_set_size + params.extra_per_random * n_random
+        for i, label in enumerate(labels):
+            if label == NOT_PARTICIPATE:
+                payoffs[profile + (i,)] = 0.0
+                continue
+            q = (
+                params.quality_random
+                if label == FORWARD_RANDOM
+                else params.quality_nonrandom
+            )
+            payoffs[profile + (i,)] = (
+                c.forwarding_benefit
+                + q * c.routing_benefit / set_size
+                - params.cost
+            )
+    return NormalFormGame(
+        strategies=[list(STAGE_STRATEGIES)] * n_players, payoffs=payoffs
+    )
+
+
+def build_path_formation_game(
+    adjacency: Mapping[int, Sequence[Tuple[int, float]]],
+    initiator: int,
+    responder: int,
+    contract: Contract,
+    hop_cost: float = 2.0,
+    max_depth: int = 6,
+) -> Tuple[GameTree, Dict[int, int]]:
+    """The L-stage path-formation game over a concrete mini-overlay.
+
+    ``adjacency[node]`` lists ``(neighbor, edge_quality)`` options.  Each
+    reached node is a player choosing its successor.  When the path
+    reaches the responder, every forwarder on it receives the Model-II
+    utility ``P_f + mean_path_quality * P_r - hop_cost``; if the depth
+    budget runs out first, forwarders eat their cost unpaid (failed path).
+
+    Returns the game tree and the node-id -> player-index map.
+    """
+    if initiator == responder:
+        raise ValueError("initiator and responder must differ")
+    players: Dict[int, int] = {}
+
+    def player_of(node_id: int) -> int:
+        if node_id not in players:
+            players[node_id] = len(players)
+        return players[node_id]
+
+    # Ensure stable player indices: initiator first, then discovery order.
+    player_of(initiator)
+
+    def build(
+        node_id: int, path_nodes: List[int], qualities: List[float], depth: int
+    ) -> TreeNode:
+        label = "->".join(str(n) for n in path_nodes)
+        options = [
+            (nbr, q)
+            for nbr, q in adjacency.get(node_id, ())
+            if nbr not in path_nodes  # no cycles in the finite game
+        ]
+        if depth == 0 or not options:
+            return TreeNode(label=label, payoffs=_terminal_payoffs(
+                path_nodes, qualities, completed=False,
+                contract=contract, hop_cost=hop_cost, player_of=player_of,
+                initiator=initiator,
+            ))
+        node = TreeNode(label=label, player=player_of(node_id))
+        for nbr, q in options:
+            if nbr == responder:
+                child = TreeNode(
+                    label=label + f"->{responder}",
+                    payoffs=_terminal_payoffs(
+                        path_nodes + [responder],
+                        qualities + [q],
+                        completed=True,
+                        contract=contract,
+                        hop_cost=hop_cost,
+                        player_of=player_of,
+                        initiator=initiator,
+                    ),
+                )
+            else:
+                child = build(nbr, path_nodes + [nbr], qualities + [q], depth - 1)
+            node.children[str(nbr)] = child
+        return node
+
+    root = build(initiator, [initiator], [], max_depth)
+    n_players = len(players)
+    _pad_payoffs(root, n_players)
+    return GameTree(n_players=n_players, root=root), players
+
+
+def _terminal_payoffs(path_nodes, qualities, completed, contract, hop_cost, player_of, initiator):
+    # Payoffs are padded to the final player count afterwards.
+    payoff_by_player: Dict[int, float] = {}
+    forwarders = [n for n in path_nodes[1:] if True]
+    if completed:
+        forwarders = path_nodes[1:-1]
+    mean_q = float(np.mean(qualities)) if qualities else 0.0
+    for n in forwarders:
+        p = player_of(n)
+        if completed:
+            payoff_by_player[p] = (
+                contract.forwarding_benefit + mean_q * contract.routing_benefit - hop_cost
+            )
+        else:
+            payoff_by_player[p] = -hop_cost
+    return payoff_by_player  # temporarily a dict; padded below
+
+
+def _pad_payoffs(node: TreeNode, n_players: int) -> None:
+    if node.payoffs is not None:
+        d = node.payoffs
+        node.payoffs = tuple(d.get(i, 0.0) for i in range(n_players))
+        return
+    for child in node.children.values():
+        _pad_payoffs(child, n_players)

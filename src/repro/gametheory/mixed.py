@@ -1,0 +1,137 @@
+"""Mixed strategies: zero-sum LP solver and best-response checks.
+
+The pure-strategy tools in :mod:`repro.gametheory.normal_form` cannot
+handle games like matching pennies (no pure equilibrium).  For two-player
+**zero-sum** games the minimax theorem reduces equilibrium computation to
+a linear program, which scipy solves exactly enough for our purposes:
+
+    maximise v  s.t.  sum_i x_i * A[i, j] >= v  (for every column j),
+                      x a probability vector,
+
+where ``A`` is the row player's payoff matrix.  The column player's
+strategy is the dual (solved by the same routine on ``-A.T``).
+
+For general-sum games we provide the *verification* half: expected
+payoffs under mixed profiles and the best-response condition, enough to
+check candidate equilibria (e.g. the uniform profile in matching
+pennies) without implementing Lemke-Howson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.gametheory.normal_form import NormalFormGame
+
+
+@dataclass(frozen=True)
+class ZeroSumSolution:
+    """Minimax solution of a two-player zero-sum game."""
+
+    row_strategy: Tuple[float, ...]
+    col_strategy: Tuple[float, ...]
+    value: float  # game value to the row player
+
+
+def solve_zero_sum(payoff_matrix) -> ZeroSumSolution:
+    """Minimax mixed strategies for the row player's payoff matrix ``A``.
+
+    Uses the standard shift-and-normalise LP formulation (shifting A to
+    be positive does not change the optimal strategies).
+    """
+    a = np.asarray(payoff_matrix, dtype=float)
+    if a.ndim != 2 or a.size == 0:
+        raise ValueError("payoff matrix must be 2-D and non-empty")
+
+    def _solve(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
+        shift = float(matrix.min())
+        shifted = matrix - shift + 1.0  # strictly positive
+        m, n = shifted.shape
+        # min sum(y) s.t. shifted.T @ y >= 1, y >= 0; value = 1/sum(y).
+        res = linprog(
+            c=np.ones(m),
+            A_ub=-shifted.T,
+            b_ub=-np.ones(n),
+            bounds=[(0, None)] * m,
+            method="highs",
+        )
+        if not res.success:
+            raise RuntimeError(f"LP failed: {res.message}")
+        y = res.x
+        total = float(y.sum())
+        strategy = y / total
+        value = 1.0 / total + shift - 1.0
+        return strategy, value
+
+    row_strategy, value = _solve(a)
+    col_strategy, col_value = _solve(-a.T)
+    # Zero-sum consistency: the column player's value is -value.
+    if abs(col_value + value) > 1e-6 * max(1.0, abs(value)):
+        raise RuntimeError(
+            f"duality gap: row value {value}, col value {col_value}"
+        )
+    return ZeroSumSolution(
+        row_strategy=tuple(float(p) for p in row_strategy),
+        col_strategy=tuple(float(p) for p in col_strategy),
+        value=value,
+    )
+
+
+def expected_payoffs(
+    game: NormalFormGame, profile: Sequence[Sequence[float]]
+) -> Tuple[float, ...]:
+    """Expected payoff vector under a mixed profile (one distribution per
+    player)."""
+    if len(profile) != game.n_players:
+        raise ValueError("profile must give one distribution per player")
+    dists = []
+    for i, p in enumerate(profile):
+        arr = np.asarray(p, dtype=float)
+        if arr.shape != (len(game.strategies[i]),):
+            raise ValueError(f"player {i}: wrong distribution length")
+        if np.any(arr < -1e-12) or abs(arr.sum() - 1.0) > 1e-9:
+            raise ValueError(f"player {i}: not a probability distribution")
+        dists.append(arr)
+    out = np.array(game.payoffs, dtype=float)
+    # Contract each player axis with its distribution.
+    for axis, dist in enumerate(dists):
+        out = np.tensordot(dist, out, axes=([0], [0]))
+    # Remaining axis is the player dimension.
+    return tuple(float(v) for v in out)
+
+
+def is_mixed_best_response(
+    game: NormalFormGame,
+    player: int,
+    profile: Sequence[Sequence[float]],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Is ``player``'s mixed strategy a best response to the others'?
+
+    Checks the support condition: no pure deviation improves the
+    player's expected payoff.
+    """
+    base = expected_payoffs(game, profile)[player]
+    n = len(game.strategies[player])
+    for s in range(n):
+        pure = [0.0] * n
+        pure[s] = 1.0
+        deviated = list(profile)
+        deviated[player] = pure
+        if expected_payoffs(game, deviated)[player] > base + tolerance:
+            return False
+    return True
+
+
+def is_mixed_equilibrium(
+    game: NormalFormGame, profile: Sequence[Sequence[float]], tolerance: float = 1e-9
+) -> bool:
+    """Every player best-responds: a (verified) mixed Nash equilibrium."""
+    return all(
+        is_mixed_best_response(game, p, profile, tolerance)
+        for p in range(game.n_players)
+    )

@@ -1,0 +1,180 @@
+"""Normal-form games: payoff tensors and solution concepts.
+
+A game has ``n`` players; player ``i`` has a finite strategy list.  The
+payoff tensor maps a strategy profile (one index per player) to a payoff
+vector (one float per player).  Everything is exact enumeration — the
+games the paper induces are small (3 strategies per stage), so brute force
+is the honest tool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Profile = Tuple[int, ...]
+
+
+@dataclass
+class NormalFormGame:
+    """An n-player normal-form game.
+
+    Parameters
+    ----------
+    strategies:
+        ``strategies[i]`` is player i's list of strategy labels.
+    payoffs:
+        Array of shape ``(*strategy_counts, n_players)``.
+    """
+
+    strategies: Sequence[Sequence[str]]
+    payoffs: np.ndarray
+
+    def __post_init__(self):
+        self.payoffs = np.asarray(self.payoffs, dtype=float)
+        expected = tuple(len(s) for s in self.strategies) + (self.n_players,)
+        if self.payoffs.shape != expected:
+            raise ValueError(
+                f"payoff tensor shape {self.payoffs.shape} != expected {expected}"
+            )
+
+    @property
+    def n_players(self) -> int:
+        return len(self.strategies)
+
+    def payoff(self, profile: Profile, player: int) -> float:
+        return float(self.payoffs[tuple(profile) + (player,)])
+
+    def profiles(self):
+        """Iterate over all pure strategy profiles."""
+        return itertools.product(*(range(len(s)) for s in self.strategies))
+
+    # -- best responses ----------------------------------------------------
+    def best_responses(self, player: int, others: Profile) -> List[int]:
+        """Argmax strategies of ``player`` against a profile of the others.
+
+        ``others`` has length n_players - 1 (player's slot removed).
+        """
+        best: List[int] = []
+        best_val = -np.inf
+        for s in range(len(self.strategies[player])):
+            profile = others[:player] + (s,) + others[player:]
+            v = self.payoff(profile, player)
+            if v > best_val + 1e-12:
+                best, best_val = [s], v
+            elif abs(v - best_val) <= 1e-12:
+                best.append(s)
+        return best
+
+    # -- dominance ------------------------------------------------------------
+    def is_dominant(self, player: int, strategy: int, strict: bool = False) -> bool:
+        """Is ``strategy`` dominant for ``player``?
+
+        Uses the paper's definition ("a strategy which gives it an optimal
+        utility irrespective of the strategies taken by other players"):
+        weak dominance = at least as good as every alternative against
+        every opposing profile; ``strict=True`` requires strictly better.
+        """
+        others_spaces = [
+            range(len(s)) for i, s in enumerate(self.strategies) if i != player
+        ]
+        for others in itertools.product(*others_spaces):
+            others = tuple(others)
+            base = others[:player] + (strategy,) + others[player:]
+            v = self.payoff(base, player)
+            for alt in range(len(self.strategies[player])):
+                if alt == strategy:
+                    continue
+                alt_profile = others[:player] + (alt,) + others[player:]
+                av = self.payoff(alt_profile, player)
+                if strict:
+                    if v <= av + 1e-12:
+                        return False
+                elif v < av - 1e-12:
+                    return False
+        return True
+
+    def dominant_strategies(self, player: int, strict: bool = False) -> List[int]:
+        return [
+            s
+            for s in range(len(self.strategies[player]))
+            if self.is_dominant(player, s, strict=strict)
+        ]
+
+    # -- equilibria --------------------------------------------------------------
+    def pure_nash_equilibria(self) -> List[Profile]:
+        """All pure-strategy Nash equilibria (each player best-responding)."""
+        out: List[Profile] = []
+        for profile in self.profiles():
+            profile = tuple(profile)
+            if all(
+                profile[p]
+                in self.best_responses(p, profile[:p] + profile[p + 1 :])
+                for p in range(self.n_players)
+            ):
+                out.append(profile)
+        return out
+
+    def iterated_elimination(self, strict: bool = True) -> List[List[int]]:
+        """Survivors of iterated elimination of (strictly) dominated
+        strategies; returns per-player surviving strategy indices."""
+        alive: List[List[int]] = [list(range(len(s))) for s in self.strategies]
+        changed = True
+        while changed:
+            changed = False
+            for p in range(self.n_players):
+                if len(alive[p]) <= 1:
+                    continue
+                others_spaces = [alive[i] for i in range(self.n_players) if i != p]
+                for s in list(alive[p]):
+                    dominated = False
+                    for alt in alive[p]:
+                        if alt == s:
+                            continue
+                        all_better = True
+                        some_strict = False
+                        for others in itertools.product(*others_spaces):
+                            others = tuple(others)
+                            sp = others[:p] + (s,) + others[p:]
+                            ap = others[:p] + (alt,) + others[p:]
+                            sv, av = self.payoff(sp, p), self.payoff(ap, p)
+                            if strict:
+                                if av <= sv + 1e-12:
+                                    all_better = False
+                                    break
+                            else:
+                                if av < sv - 1e-12:
+                                    all_better = False
+                                    break
+                                if av > sv + 1e-12:
+                                    some_strict = True
+                        if all_better and (strict or some_strict):
+                            dominated = True
+                            break
+                    if dominated:
+                        alive[p].remove(s)
+                        changed = True
+        return alive
+
+    def label_profile(self, profile: Profile) -> Tuple[str, ...]:
+        return tuple(self.strategies[i][s] for i, s in enumerate(profile))
+
+
+def two_player_game(
+    row_strategies: Sequence[str],
+    col_strategies: Sequence[str],
+    row_payoffs: Sequence[Sequence[float]],
+    col_payoffs: Sequence[Sequence[float]],
+) -> NormalFormGame:
+    """Convenience constructor for bimatrix games."""
+    rp = np.asarray(row_payoffs, dtype=float)
+    cp = np.asarray(col_payoffs, dtype=float)
+    if rp.shape != cp.shape or rp.shape != (len(row_strategies), len(col_strategies)):
+        raise ValueError("payoff matrices must match the strategy sets")
+    return NormalFormGame(
+        strategies=[list(row_strategies), list(col_strategies)],
+        payoffs=np.stack([rp, cp], axis=-1),
+    )

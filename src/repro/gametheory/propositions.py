@@ -1,0 +1,153 @@
+"""Propositions 1-3 as executable predicates and experiments.
+
+- **Proposition 1**: utility-based non-random routing reduces path
+  reformations versus random routing.  :func:`proposition1_experiment`
+  measures the expected fraction of *new* edges per recurring connection
+  (the paper's random variable ``E[X]``) under both strategies and
+  returns both values; the claim holds iff the non-random value is lower.
+- **Proposition 2**: ``P_f > C^p * N / (L * k) + C^t`` induces peers to
+  participate in forwarding: with that ``P_f``, a peer's expected series
+  income covers its participation cost.  :func:`proposition2_condition`
+  is the predicate; :func:`proposition2_min_pf` inverts it.
+- **Proposition 3**: ``P_f > C_i^p + C_i^t`` makes forwarding a dominant
+  strategy for the forwarding stage: the utility of forwarding is
+  positive for *any* edge quality (worst case q = 0), hence beats NULL
+  regardless of what others do.  :func:`proposition3_is_dominant` checks
+  this on an explicit stage game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.contracts import Contract
+from repro.gametheory.forwarding_game import (
+    FORWARD_NONRANDOM,
+    NOT_PARTICIPATE,
+    STAGE_STRATEGIES,
+    StageGameParams,
+    build_forwarding_stage_game,
+)
+
+
+# ---------------------------------------------------------------- prop 1
+@dataclass(frozen=True)
+class Proposition1Result:
+    """Measured mean new-edge fractions; claim holds if nonrandom < random."""
+
+    new_edge_fraction_random: float
+    new_edge_fraction_nonrandom: float
+
+    @property
+    def holds(self) -> bool:
+        return self.new_edge_fraction_nonrandom < self.new_edge_fraction_random
+
+
+def proposition1_experiment(random_logs, nonrandom_logs) -> Proposition1Result:
+    """Compare empirical ``E[X]`` from two sets of :class:`SeriesLog`.
+
+    Callers run the same workload once with random routing and once with a
+    utility model (see ``benchmarks/test_prop1_reformations.py``).
+    """
+    from repro.core.metrics import mean_new_edge_fraction
+
+    return Proposition1Result(
+        new_edge_fraction_random=mean_new_edge_fraction(random_logs),
+        new_edge_fraction_nonrandom=mean_new_edge_fraction(nonrandom_logs),
+    )
+
+
+# ---------------------------------------------------------------- prop 2
+def proposition2_condition(
+    pf: float,
+    participation_cost: float,
+    transmission_cost: float,
+    n_nodes: int,
+    avg_path_length: float,
+    rounds: int,
+) -> bool:
+    """``P_f > C^p * N / (L * k) + C^t`` (participation inducement).
+
+    Intuition: across ``k`` rounds of average length ``L`` there are
+    ``L*k`` forwarding instances spread over ``N`` peers; a peer expects
+    ``L*k/N`` instances, so ``P_f`` clears its per-session participation
+    cost iff the inequality holds.
+    """
+    if n_nodes < 1 or rounds < 1 or avg_path_length <= 0:
+        raise ValueError("N, k must be >= 1 and L > 0")
+    return pf > participation_cost * n_nodes / (avg_path_length * rounds) + transmission_cost
+
+
+def proposition2_min_pf(
+    participation_cost: float,
+    transmission_cost: float,
+    n_nodes: int,
+    avg_path_length: float,
+    rounds: int,
+) -> float:
+    """The threshold value of ``P_f`` in Proposition 2."""
+    if n_nodes < 1 or rounds < 1 or avg_path_length <= 0:
+        raise ValueError("N, k must be >= 1 and L > 0")
+    return participation_cost * n_nodes / (avg_path_length * rounds) + transmission_cost
+
+
+# ---------------------------------------------------------------- prop 3
+def proposition3_condition(
+    pf: float, participation_cost: float, transmission_cost: float
+) -> bool:
+    """``P_f > C_i^p + C_i^t``."""
+    return pf > participation_cost + transmission_cost
+
+
+def proposition3_is_dominant(
+    contract: Contract,
+    participation_cost: float,
+    transmission_cost: float,
+    n_players: int = 2,
+) -> Tuple[bool, bool]:
+    """Check Proposition 3 on an explicit stage game.
+
+    Returns ``(condition_holds, forwarding_dominates_null)``: when the
+    condition holds, *some* forwarding strategy must weakly dominate NULL
+    for every player (the paper's claim); when it fails with q = 0 edges
+    only, NULL can be strictly better.
+    """
+    cost = participation_cost + transmission_cost
+    condition = proposition3_condition(
+        contract.forwarding_benefit, participation_cost, transmission_cost
+    )
+    # Worst case for the forwarder: zero-quality edges, so the routing
+    # benefit contributes nothing.  Dominance must survive even this.
+    params = StageGameParams(
+        contract=contract,
+        cost=cost,
+        quality_nonrandom=0.0,
+        quality_random=0.0,
+    )
+    game = build_forwarding_stage_game(params, n_players=n_players)
+    null_idx = STAGE_STRATEGIES.index(NOT_PARTICIPATE)
+    nonrandom_idx = STAGE_STRATEGIES.index(FORWARD_NONRANDOM)
+    dominates = all(
+        nonrandom_idx in game.dominant_strategies(p) and null_idx not in
+        game.dominant_strategies(p, strict=False)
+        or _beats_null_everywhere(game, p, nonrandom_idx, null_idx)
+        for p in range(n_players)
+    )
+    return condition, dominates
+
+
+def _beats_null_everywhere(game, player: int, forward_idx: int, null_idx: int) -> bool:
+    """Forwarding payoff >= NULL payoff against every opposing profile."""
+    import itertools
+
+    others_spaces = [
+        range(len(s)) for i, s in enumerate(game.strategies) if i != player
+    ]
+    for others in itertools.product(*others_spaces):
+        others = tuple(others)
+        fwd = others[:player] + (forward_idx,) + others[player:]
+        nul = others[:player] + (null_idx,) + others[player:]
+        if game.payoff(fwd, player) < game.payoff(nul, player) - 1e-12:
+            return False
+    return True

@@ -1,0 +1,155 @@
+"""Finitely repeated games: why the payment mechanism matters.
+
+A natural question about the paper's design: couldn't repetition alone
+sustain cooperative forwarding (tit-for-tat style), without payments?
+The classical answer is no for *finitely* repeated interactions with a
+uniquely non-cooperative stage equilibrium — backward induction unravels
+cooperation from the last round.  The paper's mechanism sidesteps this
+by making forwarding a (weakly) dominant action *per stage* via the
+per-instance payment (Proposition 3), so no repetition argument is
+needed.
+
+This module makes both halves checkable:
+
+- :class:`RepeatedGame` — a stage :class:`NormalFormGame` repeated ``T``
+  times with discounting; strategies are callables
+  ``history -> action_index`` (history = tuple of past action profiles);
+- :func:`play` — realised action/payoff streams for a strategy profile;
+- :func:`one_shot_deviation_profitable` — the one-shot deviation
+  principle test at every reachable history;
+- canned strategies: :func:`always`, :func:`grim_trigger`,
+  :func:`tit_for_tat`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.gametheory.normal_form import NormalFormGame
+
+History = Tuple[Tuple[int, ...], ...]
+Strategy = Callable[[History, int], int]  # (history, player) -> action
+
+
+@dataclass(frozen=True)
+class RepeatedGame:
+    """A stage game repeated ``rounds`` times with discount ``delta``."""
+
+    stage: NormalFormGame
+    rounds: int
+    delta: float = 1.0
+
+    def __post_init__(self):
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0.0 < self.delta <= 1.0:
+            raise ValueError(f"delta must be in (0, 1], got {self.delta}")
+
+
+def play(
+    game: RepeatedGame, strategies: Sequence[Strategy]
+) -> Tuple[List[Tuple[int, ...]], Tuple[float, ...]]:
+    """Run the strategy profile; return (action history, discounted payoffs)."""
+    if len(strategies) != game.stage.n_players:
+        raise ValueError("one strategy per player required")
+    history: List[Tuple[int, ...]] = []
+    totals = [0.0] * game.stage.n_players
+    weight = 1.0
+    for _ in range(game.rounds):
+        profile = tuple(
+            strategies[p](tuple(history), p)
+            for p in range(game.stage.n_players)
+        )
+        for p in range(game.stage.n_players):
+            totals[p] += weight * game.stage.payoff(profile, p)
+        history.append(profile)
+        weight *= game.delta
+    return history, tuple(totals)
+
+
+def _continuation_value(
+    game: RepeatedGame,
+    strategies: Sequence[Strategy],
+    history: History,
+    player: int,
+    first_action: Optional[int],
+) -> float:
+    """Discounted payoff to ``player`` from ``history`` onwards, with an
+    optional one-shot deviation at the first remaining round."""
+    h: List[Tuple[int, ...]] = list(history)
+    total = 0.0
+    weight = 1.0
+    for round_index in range(len(history), game.rounds):
+        profile = list(
+            strategies[p](tuple(h), p) for p in range(game.stage.n_players)
+        )
+        if first_action is not None and round_index == len(history):
+            profile[player] = first_action
+        profile_t = tuple(profile)
+        total += weight * game.stage.payoff(profile_t, player)
+        h.append(profile_t)
+        weight *= game.delta
+    return total
+
+
+def one_shot_deviation_profitable(
+    game: RepeatedGame,
+    strategies: Sequence[Strategy],
+    tolerance: float = 1e-9,
+) -> Optional[Tuple[History, int, int]]:
+    """Search every on-path history for a profitable one-shot deviation.
+
+    Returns (history, player, action) of the first profitable deviation
+    found, or None if the profile passes the one-shot deviation test on
+    the equilibrium path (for finite games with observed actions this is
+    necessary for subgame-perfection on the path).
+    """
+    on_path, _ = play(game, strategies)
+    for t in range(game.rounds):
+        history: History = tuple(on_path[:t])
+        for player in range(game.stage.n_players):
+            base = _continuation_value(game, strategies, history, player, None)
+            for action in range(len(game.stage.strategies[player])):
+                value = _continuation_value(
+                    game, strategies, history, player, action
+                )
+                if value > base + tolerance:
+                    return history, player, action
+    return None
+
+
+# ------------------------------------------------------------- strategies
+def always(action: int) -> Strategy:
+    """Unconditionally play ``action``."""
+
+    def strategy(history: History, player: int) -> int:
+        return action
+
+    return strategy
+
+
+def grim_trigger(cooperate: int, punish: int) -> Strategy:
+    """Cooperate until *anyone* deviated from ``cooperate``; then punish
+    forever."""
+
+    def strategy(history: History, player: int) -> int:
+        for profile in history:
+            if any(a != cooperate for a in profile):
+                return punish
+        return cooperate
+
+    return strategy
+
+
+def tit_for_tat(cooperate: int, punish: int) -> Strategy:
+    """Two-player: start cooperating, then mirror the opponent's last move."""
+
+    def strategy(history: History, player: int) -> int:
+        if not history:
+            return cooperate
+        opponent = 1 - player
+        return cooperate if history[-1][opponent] == cooperate else punish
+
+    return strategy

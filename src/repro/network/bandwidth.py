@@ -1,0 +1,86 @@
+"""Per-link bandwidth model and transmission costs.
+
+The paper (§3) models "the transmission cost between two peers as being
+proportional to the communication bandwidth between them" — i.e. the cost
+of pushing a payload over a link reflects the link's (inverse) capacity:
+slow links cost more per byte.  §2.4.1 defines the transmission cost as
+``C^t = b·l`` where ``b`` is the payload size and ``l`` the per-unit cost
+of the link.
+
+We model symmetric link bandwidths drawn once per unordered pair from a
+configurable range (defaults loosely follow the broadband/DSL mix of the
+Saroiu et al. measurement study the paper cites for churn).  The per-unit
+cost of a link is ``reference_bandwidth / bandwidth`` so that the
+*fastest* links have the *lowest* cost, scaled to ``unit_cost`` on a
+reference link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _pair(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class BandwidthModel:
+    """Lazy, seeded map of unordered peer pairs to link bandwidth and cost.
+
+    Parameters
+    ----------
+    rng:
+        Generator used to draw bandwidths (draws are cached per pair, so
+        lookups are deterministic and order-independent within a run).
+    min_bandwidth, max_bandwidth:
+        Uniform range of symmetric link bandwidth (abstract units, think
+        Mbit/s).
+    reference_bandwidth:
+        Bandwidth at which a link has per-unit cost exactly ``unit_cost``.
+    unit_cost:
+        Per-unit transmission cost ``l`` on a reference link.
+    """
+
+    rng: np.random.Generator
+    min_bandwidth: float = 1.0
+    max_bandwidth: float = 10.0
+    reference_bandwidth: float = 10.0
+    unit_cost: float = 1.0
+    _links: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not 0 < self.min_bandwidth <= self.max_bandwidth:
+            raise ValueError(
+                f"invalid bandwidth range [{self.min_bandwidth}, {self.max_bandwidth}]"
+            )
+        if self.reference_bandwidth <= 0 or self.unit_cost < 0:
+            raise ValueError("reference_bandwidth must be > 0 and unit_cost >= 0")
+
+    def bandwidth(self, a: int, b: int) -> float:
+        """Symmetric bandwidth of the link {a, b} (cached on first use)."""
+        if a == b:
+            raise ValueError("no self-links")
+        key = _pair(a, b)
+        bw = self._links.get(key)
+        if bw is None:
+            bw = float(self.rng.uniform(self.min_bandwidth, self.max_bandwidth))
+            self._links[key] = bw
+        return bw
+
+    def per_unit_cost(self, a: int, b: int) -> float:
+        """Per-unit transmission cost ``l`` of the link {a, b}."""
+        return self.unit_cost * self.reference_bandwidth / self.bandwidth(a, b)
+
+    def transmission_cost(self, a: int, b: int, payload_size: float = 1.0) -> float:
+        """``C^t = b·l`` for sending ``payload_size`` units over {a, b}."""
+        if payload_size < 0:
+            raise ValueError(f"negative payload size {payload_size}")
+        return payload_size * self.per_unit_cost(a, b)
+
+    def transfer_time(self, a: int, b: int, payload_size: float = 1.0) -> float:
+        """Time to push ``payload_size`` units over the link (size/bw)."""
+        return payload_size / self.bandwidth(a, b)

@@ -1,0 +1,130 @@
+"""Churn estimation from probe observations (§2.3's citation [25]).
+
+"Mechanisms based on active probing have been used to estimate churn in
+peer-to-peer systems."  This module closes that loop: given the
+session-time observations a prober actually collects, estimate the
+underlying session distribution.
+
+The statistical subtlety is **censoring**: a probe-based monitor sees a
+neighbour's session in progress, so most observations are *lower bounds*
+(the session was still alive at the last probe), and sessions shorter
+than one probe period are missed entirely.  We provide:
+
+- :func:`pareto_mle` — maximum-likelihood shape/scale for complete
+  (uncensored) Pareto samples: ``alpha = n / sum(log(x_i / x_m))``;
+- :func:`pareto_mle_censored` — the right-censored variant: censored
+  observations contribute survival mass ``(x_m / x)^alpha``, giving
+  ``alpha = d / sum(log(x_i / x_m))`` with ``d`` the number of
+  *completed* sessions (a standard result for type-I censoring);
+- :class:`SessionObserver` — collects completed/ongoing session lengths
+  from overlay trace events and produces the estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.network.trace import NetworkTrace, TraceEventKind
+from repro.sim.distributions import Pareto
+
+
+def pareto_mle(samples, xm: "float | None" = None) -> Pareto:
+    """MLE Pareto fit for complete samples.
+
+    ``xm`` defaults to the sample minimum (its MLE).  Requires at least
+    two samples and strictly positive values.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least 2 samples")
+    if np.any(arr <= 0):
+        raise ValueError("samples must be positive")
+    scale = float(arr.min()) if xm is None else float(xm)
+    if scale <= 0 or np.any(arr < scale - 1e-12):
+        raise ValueError("xm must be positive and <= all samples")
+    logs = np.log(arr / scale)
+    total = float(logs.sum())
+    if total <= 0:
+        raise ValueError("degenerate sample (all values equal xm)")
+    alpha = arr.size / total
+    return Pareto(alpha=alpha, xm=scale)
+
+
+def pareto_mle_censored(
+    completed, censored, xm: "float | None" = None
+) -> Pareto:
+    """MLE Pareto fit with right-censored observations.
+
+    ``completed`` are fully observed session lengths; ``censored`` are
+    lower bounds (sessions still running at last probe).  The censored
+    log-likelihood gives ``alpha = d / sum_all(log(x_i / x_m))`` where
+    ``d = len(completed)`` and the sum runs over *all* observations.
+    """
+    done = np.asarray(list(completed), dtype=float)
+    cens = np.asarray(list(censored), dtype=float)
+    if done.size < 1:
+        raise ValueError("need at least 1 completed observation")
+    if np.any(done <= 0) or (cens.size and np.any(cens <= 0)):
+        raise ValueError("observations must be positive")
+    scale = float(done.min()) if xm is None else float(xm)
+    if scale <= 0 or np.any(done < scale - 1e-12):
+        raise ValueError("xm must be positive and <= all completed observations")
+    # A session censored below xm has survival probability 1 under the
+    # Pareto: it carries no information and is dropped.
+    informative_cens = cens[cens >= scale] if cens.size else cens
+    every = (
+        np.concatenate([done, informative_cens])
+        if informative_cens.size
+        else done
+    )
+    total = float(np.log(every / scale).sum())
+    if total <= 0:
+        raise ValueError("degenerate observations")
+    alpha = done.size / total
+    return Pareto(alpha=alpha, xm=scale)
+
+
+@dataclass
+class SessionObserver:
+    """Extracts session-length observations from a membership trace.
+
+    A join..leave/depart pair is a *completed* session; a join with no
+    matching end by ``now`` is *censored* at ``now - join_time``.
+    """
+
+    trace: NetworkTrace
+    _open: Dict[int, float] = field(default_factory=dict, repr=False)
+
+    def observations(self, now: float) -> Tuple[List[float], List[float]]:
+        completed: List[float] = []
+        open_since: Dict[int, float] = {}
+        for e in self.trace.events:
+            if e.time > now:
+                break
+            if e.kind is TraceEventKind.JOIN:
+                open_since[e.node_id] = e.time
+            else:
+                start = open_since.pop(e.node_id, None)
+                if start is not None and e.time > start:
+                    completed.append(e.time - start)
+        censored = [now - start for start in open_since.values() if now > start]
+        return completed, censored
+
+    def fit(self, now: float, xm: "float | None" = None) -> Pareto:
+        """Censored-MLE Pareto fit of the session distribution."""
+        completed, censored = self.observations(now)
+        return pareto_mle_censored(completed, censored, xm=xm)
+
+    def estimated_median(self, now: float, xm: "float | None" = None) -> float:
+        return self.fit(now, xm=xm).median
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth (guards the zero case)."""
+    if truth == 0:
+        raise ValueError("truth must be non-zero")
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,175 @@
+"""Peer node state: neighbour set, observed session times, availability.
+
+Implements the node-local part of §2.3 ("Availability of neighbors"):
+
+- when a peer joins, it initialises the observed session time of each
+  neighbour to 0;
+- at each probing period ``T`` a live neighbour's counter grows by ``T``;
+- a newly discovered neighbour starts at ``rand(0, T)``;
+- availability of neighbour ``u`` is the *normalised* counter
+  ``alpha(u) = t_s(u) / sum_v t_s(v)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class NodeState(enum.Enum):
+    """Lifecycle state of a peer."""
+
+    ONLINE = "online"
+    OFFLINE = "offline"  # between sessions; may come back
+    DEPARTED = "departed"  # left the system for good
+
+
+@dataclass
+class NeighborView:
+    """What a node knows about one neighbour."""
+
+    node_id: int
+    #: Observed cumulative session time (probing counter), minutes.
+    session_time: float = 0.0
+    #: Simulation time of the last successful probe (None = never probed).
+    last_seen: Optional[float] = None
+
+    def __post_init__(self):
+        if self.session_time < 0:
+            raise ValueError(f"negative session_time {self.session_time}")
+
+
+@dataclass
+class PeerNode:
+    """A peer in the anonymity overlay.
+
+    The node is deliberately *passive*: routing strategies, probers and the
+    churn process act on it.  It owns only local knowledge — its neighbour
+    set and the observed availability counters.
+    """
+
+    node_id: int
+    #: Target neighbour-set size ``d`` (paper default 5).
+    degree: int = 5
+    state: NodeState = NodeState.OFFLINE
+    #: True if the node is an adversary (routes randomly; see §2.4).
+    malicious: bool = False
+    #: Per-session participation cost ``C^p``.
+    participation_cost: float = 1.0
+    neighbors: Dict[int, NeighborView] = field(default_factory=dict)
+    #: --- true availability bookkeeping (ground truth, not node knowledge)
+    first_join_time: Optional[float] = None
+    final_departure_time: Optional[float] = None
+    total_session_time: float = 0.0
+    _session_start: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def is_online(self) -> bool:
+        return self.state is NodeState.ONLINE
+
+    def go_online(self, now: float) -> None:
+        """Start a session at time ``now``."""
+        if self.state is NodeState.DEPARTED:
+            raise RuntimeError(f"node {self.node_id} departed; cannot rejoin")
+        if self.state is NodeState.ONLINE:
+            raise RuntimeError(f"node {self.node_id} already online")
+        self.state = NodeState.ONLINE
+        self._session_start = now
+        if self.first_join_time is None:
+            self.first_join_time = now
+
+    def go_offline(self, now: float) -> None:
+        """End the current session at time ``now``."""
+        if self.state is not NodeState.ONLINE:
+            raise RuntimeError(f"node {self.node_id} is not online")
+        assert self._session_start is not None
+        if now < self._session_start:
+            raise ValueError("session cannot end before it started")
+        self.total_session_time += now - self._session_start
+        self._session_start = None
+        self.state = NodeState.OFFLINE
+
+    def depart(self, now: float) -> None:
+        """Leave the system permanently (final departure)."""
+        if self.state is NodeState.ONLINE:
+            self.go_offline(now)
+        self.state = NodeState.DEPARTED
+        self.final_departure_time = now
+
+    def true_availability(self, now: float) -> float:
+        """Ground-truth availability: session time / lifetime (§2.1).
+
+        Lifetime runs from first join to final departure (or ``now`` if the
+        node is still in the system).  Returns 0 for a node that never
+        joined.
+        """
+        if self.first_join_time is None:
+            return 0.0
+        end = self.final_departure_time if self.final_departure_time is not None else now
+        lifetime = end - self.first_join_time
+        session = self.total_session_time
+        if self._session_start is not None:
+            session += now - self._session_start
+        if lifetime <= 0:
+            return 1.0 if self.is_online else 0.0
+        return min(1.0, session / lifetime)
+
+    # -- neighbour management ---------------------------------------------
+    def set_neighbors(self, node_ids: Iterable[int]) -> None:
+        """Install a fresh neighbour set, all counters reset to 0 (§2.3)."""
+        ids = list(node_ids)
+        if self.node_id in ids:
+            raise ValueError("a node cannot neighbour itself")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate neighbour ids")
+        self.neighbors = {i: NeighborView(node_id=i) for i in ids}
+
+    def add_neighbor(self, node_id: int, initial_session_time: float = 0.0) -> None:
+        """Discover a new neighbour (counter starts at ``rand(0,T)`` per §2.3)."""
+        if node_id == self.node_id:
+            raise ValueError("a node cannot neighbour itself")
+        if node_id in self.neighbors:
+            raise ValueError(f"{node_id} already a neighbour of {self.node_id}")
+        self.neighbors[node_id] = NeighborView(
+            node_id=node_id, session_time=initial_session_time
+        )
+
+    def remove_neighbor(self, node_id: int) -> None:
+        if node_id not in self.neighbors:
+            raise KeyError(f"{node_id} is not a neighbour of {self.node_id}")
+        del self.neighbors[node_id]
+
+    def neighbor_ids(self) -> List[int]:
+        return list(self.neighbors)
+
+    # -- availability estimate (§2.3) --------------------------------------
+    def availability(self, neighbor_id: int) -> float:
+        """Estimated availability ``alpha(u)`` of one neighbour.
+
+        Normalised observed session time over the whole neighbour set; in
+        ``[0, 1]`` and summing to 1 across neighbours (0 everywhere if no
+        probe has completed yet).
+        """
+        view = self.neighbors.get(neighbor_id)
+        if view is None:
+            raise KeyError(f"{neighbor_id} is not a neighbour of {self.node_id}")
+        total = sum(v.session_time for v in self.neighbors.values())
+        if total <= 0.0:
+            return 0.0
+        return view.session_time / total
+
+    def availability_vector(self) -> Dict[int, float]:
+        """Estimated availability of every neighbour (id -> alpha)."""
+        total = sum(v.session_time for v in self.neighbors.values())
+        if total <= 0.0:
+            return {i: 0.0 for i in self.neighbors}
+        return {i: v.session_time / total for i, v in self.neighbors.items()}
+
+    def __repr__(self) -> str:
+        flag = "M" if self.malicious else "g"
+        return (
+            f"PeerNode({self.node_id}, {self.state.value}, {flag}, "
+            f"d={len(self.neighbors)})"
+        )

@@ -1,0 +1,159 @@
+"""The overlay population: membership, neighbour assignment, discovery.
+
+The overlay is the shared ground truth the per-node processes act on.  It
+owns the id space, the online set and the membership trace; it also
+provides the *discovery service* a real P2P system would implement with a
+bootstrap/rendezvous mechanism: sampling random online peers to (re)fill a
+neighbour set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.network.node import NodeState, PeerNode
+from repro.network.trace import NetworkTrace
+
+
+@dataclass
+class Overlay:
+    """Population of :class:`PeerNode` with join/leave bookkeeping.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness for neighbour sampling and discovery.
+    degree:
+        Neighbour-set size ``d`` each node maintains (paper default 5).
+    """
+
+    rng: np.random.Generator
+    degree: int = 5
+    nodes: Dict[int, PeerNode] = field(default_factory=dict)
+    trace: NetworkTrace = field(default_factory=NetworkTrace)
+    _online: Set[int] = field(default_factory=set)
+    _next_id: int = 0
+
+    def __post_init__(self):
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+
+    # -- population construction ----------------------------------------
+    def spawn_node(
+        self,
+        malicious: bool = False,
+        participation_cost: float = 1.0,
+    ) -> PeerNode:
+        """Create (but do not yet join) a new node with a fresh id."""
+        node = PeerNode(
+            node_id=self._next_id,
+            degree=self.degree,
+            malicious=malicious,
+            participation_cost=participation_cost,
+        )
+        self._next_id += 1
+        self.nodes[node.node_id] = node
+        return node
+
+    def bootstrap(
+        self,
+        n: int,
+        now: float = 0.0,
+        malicious_fraction: float = 0.0,
+        participation_cost: float = 1.0,
+    ) -> List[PeerNode]:
+        """Create ``n`` nodes, bring them online and wire neighbour sets.
+
+        A fraction ``malicious_fraction`` of the nodes (chosen uniformly at
+        random) is flagged as adversarial.  Each node gets ``degree``
+        distinct random neighbours (fewer only if the population is too
+        small).
+        """
+        if n < 2:
+            raise ValueError(f"need at least 2 nodes, got {n}")
+        if not 0.0 <= malicious_fraction <= 1.0:
+            raise ValueError(f"malicious_fraction out of range: {malicious_fraction}")
+        created = [
+            self.spawn_node(participation_cost=participation_cost) for _ in range(n)
+        ]
+        n_bad = int(round(malicious_fraction * n))
+        for node in self.rng.choice(created, size=n_bad, replace=False):
+            node.malicious = True
+        for node in created:
+            self.join(node.node_id, now)
+        wanted = min(self.degree, len(self._online) - 1)
+        for node in created:
+            node.set_neighbors(self.sample_peers(wanted, exclude={node.node_id}))
+        return created
+
+    # -- membership -------------------------------------------------------
+    def join(self, node_id: int, now: float) -> None:
+        """Bring a node online (start of a session)."""
+        node = self.nodes[node_id]
+        node.go_online(now)
+        self._online.add(node_id)
+        self.trace.join(now, node_id)
+        if not node.neighbors and len(self._online) > 1:
+            wanted = min(self.degree, len(self._online) - 1)
+            node.set_neighbors(self.sample_peers(wanted, exclude={node_id}))
+
+    def leave(self, node_id: int, now: float) -> None:
+        """Take a node offline (end of a session; may rejoin later)."""
+        node = self.nodes[node_id]
+        node.go_offline(now)
+        self._online.discard(node_id)
+        self.trace.leave(now, node_id)
+
+    def depart(self, node_id: int, now: float) -> None:
+        """Remove a node permanently (final departure)."""
+        node = self.nodes[node_id]
+        was_online = node.is_online
+        node.depart(now)
+        self._online.discard(node_id)
+        if was_online:
+            self.trace.depart(now, node_id)
+
+    # -- queries -----------------------------------------------------------
+    def is_online(self, node_id: int) -> bool:
+        return node_id in self._online
+
+    def online_ids(self) -> List[int]:
+        """Ids of all online nodes, sorted for determinism."""
+        return sorted(self._online)
+
+    def online_count(self) -> int:
+        return len(self._online)
+
+    def good_nodes(self) -> List[PeerNode]:
+        """All non-malicious nodes ever created."""
+        return [n for n in self.nodes.values() if not n.malicious]
+
+    def malicious_nodes(self) -> List[PeerNode]:
+        return [n for n in self.nodes.values() if n.malicious]
+
+    # -- discovery -----------------------------------------------------------
+    def sample_peers(self, k: int, exclude: Optional[Iterable[int]] = None) -> List[int]:
+        """``k`` distinct random online peers, excluding ``exclude``.
+
+        Raises if fewer than ``k`` candidates exist — callers decide how to
+        degrade (the prober retries next round).
+        """
+        banned = set(exclude or ())
+        pool = [i for i in sorted(self._online) if i not in banned]
+        if len(pool) < k:
+            raise ValueError(f"cannot sample {k} peers from pool of {len(pool)}")
+        picked = self.rng.choice(pool, size=k, replace=False)
+        return [int(i) for i in picked]
+
+    def random_online_peer(self, exclude: Optional[Iterable[int]] = None) -> Optional[int]:
+        """One random online peer, or None if no candidate exists."""
+        try:
+            return self.sample_peers(1, exclude=exclude)[0]
+        except ValueError:
+            return None
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,122 @@
+"""Active probing: the §2.3 availability estimator.
+
+"At the start of each probing period a peer *s* checks the liveness of
+each neighbor.  If the neighbor is alive, its session time is updated as
+``t_new = t_old + T``.  If a new neighbor is found, its session time is
+updated as ``t_new = rand(0, T)``."
+
+Dead (offline or departed) neighbours are replaced via the overlay's
+discovery service; replacements start with a uniform ``rand(0, T)``
+counter, exactly as the paper specifies for newly found neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.network.overlay import Overlay
+from repro.sim.engine import Environment
+
+
+def run_probe_round(
+    overlay: Overlay,
+    node_id: int,
+    period: float,
+    rng: np.random.Generator,
+    now: float,
+    replace_dead: bool = True,
+    discovery: "Callable[[int, tuple], Optional[int]] | None" = None,
+) -> dict:
+    """One probing round for one node.  Returns a small stats dict.
+
+    - live neighbour: counter += ``period``;
+    - dead neighbour: dropped and (if possible) replaced by a discovered
+      online peer whose counter starts at ``rand(0, period)``.
+
+    ``discovery(node_id, exclude)`` overrides the replacement source —
+    pass :meth:`repro.network.gossip.GossipMembership.discover` for fully
+    decentralised discovery; the default is the overlay's bootstrap
+    oracle.
+    """
+    if period <= 0:
+        raise ValueError(f"probe period must be positive, got {period}")
+    node = overlay.nodes[node_id]
+
+    def find_replacement() -> "Optional[int]":
+        exclude = (node_id, *node.neighbors)
+        if discovery is not None:
+            return discovery(node_id, exclude)
+        return overlay.random_online_peer(exclude=exclude)
+
+    alive = dead = replaced = 0
+    for nbr_id in list(node.neighbors):
+        if overlay.is_online(nbr_id):
+            view = node.neighbors[nbr_id]
+            view.session_time += period
+            view.last_seen = now
+            alive += 1
+        else:
+            dead += 1
+            node.remove_neighbor(nbr_id)
+            if replace_dead:
+                candidate = find_replacement()
+                if candidate is not None:
+                    node.add_neighbor(
+                        candidate,
+                        initial_session_time=float(rng.uniform(0.0, period)),
+                    )
+                    replaced += 1
+    # Top up if the set shrank below the target degree in earlier rounds.
+    if replace_dead:
+        while len(node.neighbors) < node.degree:
+            candidate = find_replacement()
+            if candidate is None:
+                break
+            node.add_neighbor(
+                candidate, initial_session_time=float(rng.uniform(0.0, period))
+            )
+            replaced += 1
+    return {"alive": alive, "dead": dead, "replaced": replaced}
+
+
+@dataclass
+class ActiveProber:
+    """Periodic probing process for the whole population.
+
+    A single process probes every online node each ``period`` minutes —
+    equivalent to per-node probe processes with aligned phases, but one
+    heap entry instead of N.
+    """
+
+    overlay: Overlay
+    period: float
+    rng: np.random.Generator
+    #: Optional decentralised discovery backend (see run_probe_round).
+    discovery: "Callable[[int, tuple], Optional[int]] | None" = None
+    #: Optional per-period hook (e.g. GossipMembership.run_round).
+    on_period: "Callable[[], object] | None" = None
+    rounds_run: int = 0
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError(f"probe period must be positive, got {self.period}")
+
+    def run(self, env: Environment):
+        """Generator process: probe all online nodes every ``period``."""
+        while True:
+            yield env.timeout(self.period)
+            if self.on_period is not None:
+                self.on_period()
+            for node_id in self.overlay.online_ids():
+                run_probe_round(
+                    self.overlay,
+                    node_id,
+                    self.period,
+                    self.rng,
+                    env.now,
+                    discovery=self.discovery,
+                )
+            self.rounds_run += 1

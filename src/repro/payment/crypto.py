@@ -1,0 +1,192 @@
+"""Chaum-style RSA blind signatures, from scratch.
+
+The bank signs a *blinded* token serial: the withdrawer picks a random
+blinding factor ``r``, submits ``blinded = H(serial) * r^e mod n``; the
+bank returns ``blinded^d mod n``; the withdrawer multiplies by ``r^{-1}``
+to obtain a valid signature ``H(serial)^d mod n`` on a serial the bank has
+never seen.  When the token is later deposited, the bank can verify the
+signature but cannot link it to any withdrawal — which is exactly the
+unlinkability the anonymity system's payment channel needs.
+
+This is *textbook* RSA (no OAEP/PSS padding): adequate for a simulation
+substrate, not for production use.  Primes come from a Miller-Rabin
+test over seeded randomness so the whole scheme is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Deterministic Miller-Rabin witness set, complete for n < 3.3 * 10^24;
+#: for larger n we add seeded random witnesses.
+_SMALL_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rng: "np.random.Generator | None" = None, rounds: int = 16) -> bool:
+    """Miller-Rabin primality test (deterministic witnesses + random rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^s
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+
+    def witness_composite(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    for a in _SMALL_WITNESSES:
+        if a % n == 0:
+            continue
+        if witness_composite(a):
+            return False
+    if rng is not None:
+        for _ in range(rounds):
+            # Build a witness below n from 30-bit chunks (n may exceed int64).
+            a = 0
+            for _ in range(n.bit_length() // 30 + 1):
+                a = (a << 30) | int(rng.integers(0, 2**30))
+            a = 2 + a % (n - 3)
+            if witness_composite(a):
+                return False
+    return True
+
+
+def generate_prime(bits: int, rng: np.random.Generator) -> int:
+    """A random probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"bits must be >= 8, got {bits}")
+    while True:
+        # Force the top bit (exact size) and bottom bit (odd).
+        chunks = [int(rng.integers(0, 2**30)) for _ in range(bits // 30 + 1)]
+        candidate = 0
+        for c in chunks:
+            candidate = (candidate << 30) | c
+        candidate &= (1 << bits) - 1
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _hash_to_int(message: bytes, modulus: int) -> int:
+    """SHA-256 hash of ``message`` reduced into Z_n (full-domain-ish)."""
+    digest = hashlib.sha256(message).digest()
+    # Stretch to cover the modulus size.
+    blocks = [digest]
+    while sum(len(b) for b in blocks) * 8 < modulus.bit_length():
+        blocks.append(hashlib.sha256(blocks[-1]).digest())
+    return int.from_bytes(b"".join(blocks), "big") % modulus
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair ``(n, e, d)``."""
+
+    n: int
+    e: int
+    d: int
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator, bits: int = 256, e: int = 65537) -> "RSAKeyPair":
+        """Generate a key pair with a ``bits``-bit modulus (per-prime bits/2)."""
+        if bits < 64:
+            raise ValueError(f"modulus must be >= 64 bits, got {bits}")
+        half = bits // 2
+        while True:
+            p = generate_prime(half, rng)
+            q = generate_prime(bits - half, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            n = p * q
+            d = pow(e, -1, phi)
+            return cls(n=n, e=e, d=d)
+
+    def sign_raw(self, value: int) -> int:
+        """Raw RSA signature ``value^d mod n`` (bank-side, on blinded data)."""
+        if not 0 <= value < self.n:
+            raise ValueError("value out of range for modulus")
+        return pow(value, self.d, self.n)
+
+    def verify_raw(self, value: int, signature: int) -> bool:
+        return pow(signature, self.e, self.n) == value % self.n
+
+
+class BlindSignatureScheme:
+    """Blind-signature protocol around one bank key pair.
+
+    The three protocol steps are separate methods so tests (and the fraud
+    scenarios) can exercise each message:
+
+    1. ``blind(serial, r)``      — withdrawer blinds the hashed serial;
+    2. ``sign_blinded(blinded)`` — bank signs without seeing the serial;
+    3. ``unblind(blind_sig, r)`` — withdrawer recovers the bare signature.
+
+    ``verify(serial, sig)`` is what the bank runs at deposit time.
+    """
+
+    def __init__(self, keys: RSAKeyPair):
+        self.keys = keys
+
+    @property
+    def modulus(self) -> int:
+        return self.keys.n
+
+    def random_blinding_factor(self, rng: np.random.Generator) -> int:
+        """A unit of Z_n* suitable as a blinding factor."""
+        n = self.keys.n
+        while True:
+            chunks = [int(rng.integers(0, 2**30)) for _ in range(n.bit_length() // 30 + 1)]
+            r = 0
+            for c in chunks:
+                r = (r << 30) | c
+            r %= n
+            if r > 1 and _gcd(r, n) == 1:
+                return r
+
+    def hash_serial(self, serial: bytes) -> int:
+        return _hash_to_int(serial, self.keys.n)
+
+    def blind(self, serial: bytes, r: int) -> int:
+        """``H(serial) * r^e mod n``."""
+        return (self.hash_serial(serial) * pow(r, self.keys.e, self.keys.n)) % self.keys.n
+
+    def sign_blinded(self, blinded: int) -> int:
+        """Bank-side signing of the blinded value (never sees the serial)."""
+        return self.keys.sign_raw(blinded)
+
+    def unblind(self, blind_signature: int, r: int) -> int:
+        """``blind_sig * r^{-1} mod n`` = ``H(serial)^d mod n``."""
+        r_inv = pow(r, -1, self.keys.n)
+        return (blind_signature * r_inv) % self.keys.n
+
+    def verify(self, serial: bytes, signature: int) -> bool:
+        """Check ``signature^e == H(serial) mod n``."""
+        return self.keys.verify_raw(self.hash_serial(serial), signature)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

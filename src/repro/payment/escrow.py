@@ -1,0 +1,99 @@
+"""Per-series escrow: fund at series start, settle at series end (§2.2).
+
+"The payment is made by I only after all the connections in pi are
+completed."  The escrow object is the initiator-side controller of that
+lifecycle:
+
+1. ``open()`` — the initiator withdraws blinded tokens covering the
+   series' worst-case budget and funds the bank escrow anonymously;
+2. forwarders submit claims (their instance counts);
+3. ``settle()`` — the initiator's validated settlement map (from
+   :meth:`ConnectionSeries.settlement`) is paid out; claims that disagree
+   with the validated map are rejected and reported as fraud;
+4. the remainder comes back as fresh bearer tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.payment.bank import Bank
+from repro.payment.tokens import Token
+
+
+class EscrowError(Exception):
+    """Escrow lifecycle violation (double open, settle before open, ...)."""
+
+
+@dataclass
+class SeriesEscrow:
+    """Escrow controller for one connection series."""
+
+    bank: Bank
+    escrow_id: int
+    initiator_account: int
+    budget: float
+    opened: bool = False
+    settled: bool = False
+    claims: Dict[int, int] = field(default_factory=dict)
+    rejected_claims: List[int] = field(default_factory=list)
+    refund: List[Token] = field(default_factory=list)
+
+    def open(self) -> float:
+        """Withdraw tokens and fund the escrow anonymously."""
+        if self.opened:
+            raise EscrowError(f"escrow {self.escrow_id} already open")
+        if self.budget <= 0:
+            raise EscrowError(f"budget must be positive, got {self.budget}")
+        tokens = self.bank.withdraw(self.initiator_account, self.budget)
+        funded = self.bank.fund_escrow(self.escrow_id, tokens)
+        self.opened = True
+        return funded
+
+    def submit_claim(self, forwarder: int, instances: int) -> None:
+        """A forwarder claims its forwarding-instance count for the series."""
+        if self.settled:
+            raise EscrowError("series already settled")
+        if instances < 0:
+            raise ValueError(f"negative instance claim {instances}")
+        self.claims[forwarder] = instances
+
+    def settle(
+        self,
+        validated_payments: Dict[int, float],
+        validated_instances: Optional[Dict[int, int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[int, float]:
+        """Pay the validated settlement; flag claims that disagree.
+
+        ``validated_payments`` is authoritative (it comes from the
+        initiator's reverse-path validation).  A claim exceeding the
+        validated instance count is rejected in full — the claimed-for
+        forwarder is still paid what validation supports, but the
+        discrepancy is recorded for the fraud report.
+        """
+        if not self.opened:
+            raise EscrowError("cannot settle an unopened escrow")
+        if self.settled:
+            raise EscrowError("escrow already settled")
+        if validated_instances is not None:
+            for forwarder, claimed in self.claims.items():
+                actual = validated_instances.get(forwarder, 0)
+                if claimed > actual:
+                    self.rejected_claims.append(forwarder)
+                    self.bank.fraud_log.append(
+                        f"inflated-claim:{forwarder}:{claimed}>{actual}"
+                    )
+        paid: Dict[int, float] = {}
+        for forwarder, amount in sorted(validated_payments.items()):
+            self.bank.pay_from_escrow(self.escrow_id, forwarder, amount)
+            paid[forwarder] = amount
+        self.refund = self.bank.refund_escrow(self.escrow_id, rng=rng)
+        self.settled = True
+        return paid
+
+    def refund_value(self) -> float:
+        return sum(t.denomination for t in self.refund)

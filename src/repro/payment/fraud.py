@@ -1,0 +1,103 @@
+"""Cheating scenarios against the payment system, and their detection.
+
+The paper (§1, §5) requires the payment system to "handle typical
+scenarios of cheating and malicious attacks".  We model the three obvious
+economic attacks and show each is caught:
+
+- **double spend** — depositing the same token twice (caught by the
+  bank's spent-serial set);
+- **forgery** — depositing a token with an invalid signature (caught by
+  signature verification; serials are blind-signed, so a cheater cannot
+  mint value);
+- **inflated claim** — a forwarder claiming more forwarding instances
+  than it performed (caught by the initiator's reverse-path validation:
+  the recreated path is authoritative at settlement);
+- **phantom forwarder** — a node that never appeared on any path claiming
+  a share (a special case of the above with actual instances = 0).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.payment.bank import Bank, DepositError
+from repro.payment.tokens import Token, forge_token
+
+
+class FraudKind(enum.Enum):
+    DOUBLE_SPEND = "double-spend"
+    FORGERY = "forgery"
+    INFLATED_CLAIM = "inflated-claim"
+    PHANTOM_FORWARDER = "phantom-forwarder"
+
+
+@dataclass(frozen=True)
+class FraudReport:
+    kind: FraudKind
+    offender: int
+    detail: str
+    detected: bool
+
+
+def double_spend_attempt(bank: Bank, owner: int, token: Token) -> FraudReport:
+    """Deposit a token twice; the second deposit must fail."""
+    bank.deposit_to_account(owner, [token])
+    try:
+        bank.deposit_to_account(owner, [token])
+    except DepositError as exc:
+        return FraudReport(
+            kind=FraudKind.DOUBLE_SPEND,
+            offender=owner,
+            detail=str(exc),
+            detected=True,
+        )
+    return FraudReport(
+        kind=FraudKind.DOUBLE_SPEND,
+        offender=owner,
+        detail="second deposit accepted",
+        detected=False,
+    )
+
+
+def forgery_attempt(bank: Bank, owner: int, rng: np.random.Generator, denomination: float = 1.0) -> FraudReport:
+    """Deposit a self-minted token; must be rejected."""
+    bogus = forge_token(denomination, rng)
+    try:
+        bank.deposit_to_account(owner, [bogus])
+    except DepositError as exc:
+        return FraudReport(
+            kind=FraudKind.FORGERY, offender=owner, detail=str(exc), detected=True
+        )
+    return FraudReport(
+        kind=FraudKind.FORGERY,
+        offender=owner,
+        detail="forged token accepted",
+        detected=False,
+    )
+
+
+def detect_claim_fraud(
+    claims: Dict[int, int], validated_instances: Dict[int, int]
+) -> List[FraudReport]:
+    """Compare submitted claims against the initiator-validated truth."""
+    reports: List[FraudReport] = []
+    for forwarder, claimed in sorted(claims.items()):
+        actual = validated_instances.get(forwarder, 0)
+        if claimed <= actual:
+            continue
+        kind = (
+            FraudKind.PHANTOM_FORWARDER if actual == 0 else FraudKind.INFLATED_CLAIM
+        )
+        reports.append(
+            FraudReport(
+                kind=kind,
+                offender=forwarder,
+                detail=f"claimed {claimed}, validated {actual}",
+                detected=True,
+            )
+        )
+    return reports

@@ -1,0 +1,89 @@
+"""Bearer payment tokens with blind signatures.
+
+A token is a (serial, denomination, signature) triple.  The serial is
+chosen by the withdrawer and never shown to the bank at withdrawal time
+(only its blinded hash is signed), so a deposited token cannot be linked
+back to the account that withdrew it.  Double spending is caught by the
+bank's spent-serial set.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.payment.crypto import BlindSignatureScheme
+
+
+class TokenError(Exception):
+    """Invalid, forged, or double-spent token."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A bearer token worth ``denomination`` currency units."""
+
+    serial: bytes
+    denomination: float
+    signature: int
+
+    def __post_init__(self):
+        if self.denomination <= 0:
+            raise ValueError(f"denomination must be positive: {self.denomination}")
+        if not self.serial:
+            raise ValueError("empty serial")
+
+    def key(self) -> bytes:
+        return self.serial
+
+
+def fresh_serial(rng: "np.random.Generator | None" = None, nbytes: int = 16) -> bytes:
+    """A random token serial (seeded when ``rng`` is given, for tests)."""
+    if rng is None:
+        return secrets.token_bytes(nbytes)
+    return bytes(int(b) for b in rng.integers(0, 256, size=nbytes))
+
+
+@dataclass
+class WithdrawalRequest:
+    """Client-side state of one token withdrawal (blinding kept secret)."""
+
+    serial: bytes
+    denomination: float
+    blinding_factor: int
+    blinded: int
+
+    @classmethod
+    def create(
+        cls,
+        scheme: BlindSignatureScheme,
+        denomination: float,
+        rng: np.random.Generator,
+    ) -> "WithdrawalRequest":
+        serial = fresh_serial(rng)
+        r = scheme.random_blinding_factor(rng)
+        return cls(
+            serial=serial,
+            denomination=denomination,
+            blinding_factor=r,
+            blinded=scheme.blind(serial, r),
+        )
+
+    def finish(self, scheme: BlindSignatureScheme, blind_signature: int) -> Token:
+        """Unblind the bank's signature into a spendable token."""
+        sig = scheme.unblind(blind_signature, self.blinding_factor)
+        token = Token(serial=self.serial, denomination=self.denomination, signature=sig)
+        if not scheme.verify(token.serial, token.signature):
+            raise TokenError("bank returned an invalid blind signature")
+        return token
+
+
+def forge_token(denomination: float, rng: np.random.Generator) -> Token:
+    """A syntactically valid token with a bogus signature (for fraud tests)."""
+    return Token(
+        serial=fresh_serial(rng),
+        denomination=denomination,
+        signature=int(rng.integers(2, 2**31)),
+    )

@@ -1,0 +1,182 @@
+"""Awaitable event primitives for the discrete-event kernel.
+
+Events move through three states: *pending* (created, not yet triggered),
+*triggered* (scheduled on the environment's heap with a value or an
+exception), and *processed* (callbacks have run).  Processes wait on events
+by ``yield``-ing them; the kernel resumes the process when the event is
+processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Environment
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.sim.engine.Environment`.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Whether a raised failure has been consumed by a waiter (prevents
+        #: "unhandled failure" diagnostics for awaited events).
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance on failure)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value for the events that fired in a condition."""
+
+
+class Condition(Event):
+    """Composite event over several sub-events (base for AllOf/AnyOf)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for e in self.events:
+            if e.env is not env:
+                raise ValueError("events from different environments")
+        self._count = 0
+        if not self.events:
+            self.succeed(ConditionValue())
+            return
+        for e in self.events:
+            if e.processed:
+                self._check(e)
+            else:
+                e.callbacks.append(self._check)
+
+    def _evaluate(self, count: int) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count):
+            value = ConditionValue()
+            for e in self.events:
+                # Only events that have actually *fired* contribute a value
+                # (Timeouts are born triggered but fire later).
+                if (e.processed or e is event) and e._ok:
+                    value[e] = e._value
+            self.succeed(value)
+
+
+class AllOf(Condition):
+    """Succeeds when *all* sub-events have succeeded."""
+
+    def _evaluate(self, count: int) -> bool:
+        return count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Succeeds when *any* sub-event has succeeded."""
+
+    def _evaluate(self, count: int) -> bool:
+        return count >= 1

@@ -1,0 +1,77 @@
+"""Tests for the intersection attack."""
+
+import pytest
+
+from repro.adversary.intersection import IntersectionAttack
+from repro.network.trace import NetworkTrace
+
+
+def build_trace():
+    """Initiator 1 is online for every observation window; others churn."""
+    t = NetworkTrace()
+    for nid in (1, 2, 3, 4, 5):
+        t.join(0.0, nid)
+    t.leave(10.0, 2)
+    t.join(12.0, 2)
+    t.leave(20.0, 3)
+    t.leave(30.0, 4)
+    t.join(32.0, 3)
+    t.leave(40.0, 5)
+    return t
+
+
+def test_candidate_set_shrinks_monotonically():
+    attack = IntersectionAttack(trace=build_trace(), initiator=1)
+    sizes = [attack.observe(t) for t in (5.0, 11.0, 25.0, 35.0, 45.0)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_initiator_always_survives_intersection():
+    attack = IntersectionAttack(trace=build_trace(), initiator=1)
+    result = attack.observe_rounds([5.0, 11.0, 25.0, 35.0, 45.0])
+    assert 1 in result.final_candidates
+
+
+def test_full_exposure_under_heavy_churn():
+    attack = IntersectionAttack(trace=build_trace(), initiator=1)
+    result = attack.observe_rounds([5.0, 11.0, 25.0, 35.0, 45.0])
+    # At t=11 node 2,3 offline... the observations whittle down to {1}.
+    assert result.exposed
+    assert result.anonymity_degree == 0.0
+
+
+def test_no_exposure_without_churn():
+    t = NetworkTrace()
+    for nid in (1, 2, 3, 4):
+        t.join(0.0, nid)
+    attack = IntersectionAttack(trace=t, initiator=1)
+    result = attack.observe_rounds([1.0, 2.0, 3.0])
+    assert not result.exposed
+    assert len(result.final_candidates) == 4
+    assert result.anonymity_degree == pytest.approx(1.0)
+
+
+def test_excluded_ids_removed():
+    t = NetworkTrace()
+    for nid in (1, 2, 3):
+        t.join(0.0, nid)
+    attack = IntersectionAttack(trace=t, initiator=1, excluded=frozenset({3}))
+    result = attack.observe_rounds([1.0])
+    assert result.final_candidates == frozenset({1, 2})
+
+
+def test_result_before_observation_raises():
+    attack = IntersectionAttack(trace=NetworkTrace(), initiator=1)
+    with pytest.raises(RuntimeError):
+        attack.result()
+
+
+def test_partial_shrink_gives_partial_anonymity():
+    t = NetworkTrace()
+    for nid in (1, 2, 3, 4):
+        t.join(0.0, nid)
+    t.leave(5.0, 4)
+    attack = IntersectionAttack(trace=t, initiator=1)
+    result = attack.observe_rounds([1.0, 6.0])
+    assert result.final_candidates == frozenset({1, 2, 3})
+    assert 0.0 < result.anonymity_degree < 1.0

@@ -1,0 +1,54 @@
+"""Tests for the Sybil-attack experiment."""
+
+import pytest
+
+from repro.adversary.sybil import SybilResult, run_sybil_experiment
+
+
+def test_result_bookkeeping():
+    r = SybilResult(
+        n_honest=20, n_sybil=5, colony_income=100.0, honest_income=900.0,
+        amplification=0.5,
+    )
+    assert not r.profitable
+    assert SybilResult(20, 5, 0, 0, 1.2).profitable
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        run_sybil_experiment(n_sybil=0)
+    with pytest.raises(ValueError):
+        run_sybil_experiment(n_honest=2)
+
+
+def test_experiment_runs_and_is_deterministic():
+    a = run_sybil_experiment(seed=1, n_pairs=4, rounds=6)
+    b = run_sybil_experiment(seed=1, n_pairs=4, rounds=6)
+    assert a == b
+    assert a.n_sybil == 8
+    assert a.honest_income > 0
+
+
+def test_utility_routing_starves_late_sybils():
+    """The availability estimator + selectivity incumbency means fresh
+    identities earn (almost) nothing under utility routing."""
+    results = [
+        run_sybil_experiment(strategy="utility-I", seed=s, n_pairs=6, rounds=10)
+        for s in range(3)
+    ]
+    mean_amp = sum(r.amplification for r in results) / len(results)
+    assert mean_amp < 0.3
+    assert not any(r.profitable for r in results)
+
+
+def test_random_routing_leaks_more_to_sybils():
+    utility = [
+        run_sybil_experiment(strategy="utility-I", seed=s, n_pairs=6, rounds=10)
+        for s in range(3)
+    ]
+    random_ = [
+        run_sybil_experiment(strategy="random", seed=s, n_pairs=6, rounds=10)
+        for s in range(3)
+    ]
+    mean = lambda rs: sum(r.amplification for r in rs) / len(rs)
+    assert mean(random_) > mean(utility)

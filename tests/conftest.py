@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.network.overlay import Overlay
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def streams():
+    return RandomStreams(seed=12345)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def overlay(streams):
+    """A 20-node overlay, 10% malicious, degree 4, all online at t=0."""
+    ov = Overlay(rng=streams["overlay"], degree=4)
+    ov.bootstrap(20, malicious_fraction=0.1)
+    return ov
+
+
+@pytest.fixture
+def histories(overlay):
+    return {nid: HistoryProfile(nid) for nid in overlay.nodes}
+
+
+@pytest.fixture
+def contract():
+    return Contract.from_tau(forwarding_benefit=75.0, tau=2.0)
+
+
+@pytest.fixture
+def flat_costs():
+    """Cost model with flat unit transmission cost (no bandwidth model)."""
+    return CostModel(bandwidth=None, flat_unit_cost=1.0)

@@ -1,0 +1,53 @@
+"""Tests for the cost model (§2.4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.network.bandwidth import BandwidthModel
+
+
+def test_flat_cost_scales_with_payload():
+    m = CostModel(bandwidth=None, flat_unit_cost=2.0)
+    assert m.transmission_cost(0, 1, 3.0) == pytest.approx(6.0)
+
+
+def test_flat_cost_validation():
+    with pytest.raises(ValueError):
+        CostModel(flat_unit_cost=-1.0)
+    m = CostModel()
+    with pytest.raises(ValueError):
+        m.transmission_cost(0, 1, -1.0)
+
+
+def test_bandwidth_backed_cost_matches_model():
+    bw = BandwidthModel(rng=np.random.default_rng(0))
+    m = CostModel(bandwidth=bw)
+    assert m.transmission_cost(0, 1, 2.0) == pytest.approx(
+        bw.transmission_cost(0, 1, 2.0)
+    )
+
+
+def test_decision_cost_adds_participation():
+    m = CostModel(bandwidth=None, flat_unit_cost=1.0)
+    # C_p + C_t = 5 + 1*2
+    assert m.decision_cost(5.0, 0, 1, 2.0) == pytest.approx(7.0)
+
+
+def test_decision_cost_negative_participation_rejected():
+    m = CostModel()
+    with pytest.raises(ValueError):
+        m.decision_cost(-1.0, 0, 1, 1.0)
+
+
+def test_slow_links_cost_more():
+    bw = BandwidthModel(
+        rng=np.random.default_rng(1), min_bandwidth=1.0, max_bandwidth=10.0
+    )
+    m = CostModel(bandwidth=bw)
+    # Order two links by bandwidth; cost order must be inverted.
+    links = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    bws = {l: bw.bandwidth(*l) for l in links}
+    fast = max(links, key=lambda l: bws[l])
+    slow = min(links, key=lambda l: bws[l])
+    assert m.transmission_cost(*slow, 1.0) > m.transmission_cost(*fast, 1.0)

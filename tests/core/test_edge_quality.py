@@ -1,0 +1,85 @@
+"""Tests for edge quality q(s,v) = w_s*sigma + w_a*alpha (§2.3)."""
+
+import pytest
+
+from repro.core.edge_quality import QualityWeights, edge_quality
+from repro.core.history import HistoryProfile
+from repro.network.node import PeerNode
+
+
+@pytest.fixture
+def node():
+    n = PeerNode(node_id=0, degree=3)
+    n.set_neighbors([1, 2, 3])
+    n.neighbors[1].session_time = 30.0
+    n.neighbors[2].session_time = 10.0
+    n.neighbors[3].session_time = 0.0
+    return n
+
+
+@pytest.fixture
+def history():
+    h = HistoryProfile(0)
+    # Rounds 1-2 both used successor 2.
+    h.record(cid=1, round_index=1, predecessor=9, successor=2)
+    h.record(cid=1, round_index=2, predecessor=9, successor=2)
+    return h
+
+
+class TestQualityWeights:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            QualityWeights(selectivity=0.7, availability=0.7)
+
+    def test_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            QualityWeights(selectivity=-0.5, availability=1.5)
+
+    def test_defaults_paper_values(self):
+        w = QualityWeights()
+        assert w.selectivity == 0.5 and w.availability == 0.5
+
+
+class TestEdgeQuality:
+    def test_combines_selectivity_and_availability(self, node, history):
+        # alpha(2) = 10/40 = 0.25, sigma(2 at round 3) = 2/2 = 1.0
+        q = edge_quality(node, 2, history, cid=1, round_index=3)
+        assert q == pytest.approx(0.5 * 1.0 + 0.5 * 0.25)
+
+    def test_pure_availability_weighting(self, node, history):
+        w = QualityWeights(selectivity=0.0, availability=1.0)
+        q = edge_quality(node, 1, history, cid=1, round_index=3, weights=w)
+        assert q == pytest.approx(30.0 / 40.0)
+
+    def test_pure_selectivity_weighting(self, node, history):
+        w = QualityWeights(selectivity=1.0, availability=0.0)
+        q = edge_quality(node, 2, history, cid=1, round_index=3, weights=w)
+        assert q == pytest.approx(1.0)
+
+    def test_responder_edge_is_one(self, node, history):
+        q = edge_quality(node, 3, history, cid=1, round_index=3, responder=3)
+        assert q == 1.0
+
+    def test_bounded_unit_interval(self, node, history):
+        for nbr in (1, 2, 3):
+            q = edge_quality(node, nbr, history, cid=1, round_index=3)
+            assert 0.0 <= q <= 1.0
+
+    def test_no_history_no_probes_gives_zero(self):
+        n = PeerNode(node_id=0)
+        n.set_neighbors([1])
+        q = edge_quality(n, 1, HistoryProfile(0), cid=1, round_index=1)
+        assert q == 0.0
+
+    def test_unknown_neighbor_raises(self, node, history):
+        with pytest.raises(KeyError):
+            edge_quality(node, 99, history, cid=1, round_index=3)
+
+    def test_predecessor_filtering_respected(self, node, history):
+        q_match = edge_quality(
+            node, 2, history, cid=1, round_index=3, predecessor=9
+        )
+        q_other = edge_quality(
+            node, 2, history, cid=1, round_index=3, predecessor=4
+        )
+        assert q_match > q_other

@@ -1,0 +1,90 @@
+"""Tests for message-loss failure injection in path establishment."""
+
+import numpy as np
+import pytest
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.path import PathFailure
+from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
+from repro.core.routing import UtilityModelI
+from repro.network.overlay import Overlay
+
+
+def make_builder(loss, seed=0, max_attempts=10):
+    ov = Overlay(rng=np.random.default_rng(seed), degree=4)
+    ov.bootstrap(14)
+    return PathBuilder(
+        overlay=ov,
+        cost_model=CostModel(),
+        histories={nid: HistoryProfile(nid) for nid in ov.nodes},
+        rng=np.random.default_rng(seed + 1),
+        good_strategy=UtilityModelI(),
+        termination=TerminationPolicy.crowds(0.6),
+        loss_probability=loss,
+        max_attempts=max_attempts,
+    )
+
+
+def test_zero_loss_never_drops():
+    b = make_builder(0.0)
+    for rnd in range(1, 11):
+        b.build_round(1, rnd, 0, 13, Contract(50, 100))
+    assert b.hops_lost == 0
+    assert b.reformations == 0
+
+
+def test_loss_causes_reformations_but_rounds_recover():
+    b = make_builder(0.25)
+    completed = 0
+    for rnd in range(1, 21):
+        try:
+            b.build_round(1, rnd, 0, 13, Contract(50, 100))
+            completed += 1
+        except PathFailure:
+            pass
+    assert b.hops_lost > 0
+    assert b.reformations > 0
+    assert completed >= 15  # retries absorb most losses
+
+
+def test_certain_loss_fails_rounds():
+    b = make_builder(0.9, max_attempts=3)
+    failures = 0
+    for rnd in range(1, 6):
+        try:
+            b.build_round(1, rnd, 0, 13, Contract(50, 100))
+        except PathFailure as exc:
+            failures += 1
+            assert exc.reformations >= 1
+    assert failures >= 3
+
+
+def test_loss_rate_scales_reformations():
+    low = make_builder(0.05, seed=3)
+    high = make_builder(0.4, seed=3)
+    for b in (low, high):
+        for rnd in range(1, 16):
+            try:
+                b.build_round(1, rnd, 0, 13, Contract(50, 100))
+            except PathFailure:
+                pass
+    assert high.reformations > low.reformations
+
+
+def test_invalid_loss_probability_rejected():
+    with pytest.raises(ValueError):
+        make_builder(1.0)
+    with pytest.raises(ValueError):
+        make_builder(-0.1)
+
+
+def test_series_accounts_loss_reformations():
+    b = make_builder(0.3, seed=5)
+    series = ConnectionSeries(
+        cid=1, initiator=0, responder=13, contract=Contract(50, 100), builder=b
+    )
+    series.run(10)
+    # Failures and reformations both surface in the series log.
+    assert series.log.reformations + series.log.rounds_completed >= 10 - series.log.failed_rounds

@@ -1,0 +1,97 @@
+"""Tests for Path and SeriesLog."""
+
+import pytest
+
+from repro.core.path import Path, PathFailure, SeriesLog
+
+
+def make_path(forwarders, cid=1, rnd=1, initiator=0, responder=9):
+    return Path(
+        cid=cid,
+        round_index=rnd,
+        initiator=initiator,
+        responder=responder,
+        forwarders=tuple(forwarders),
+    )
+
+
+class TestPath:
+    def test_nodes_and_edges(self):
+        p = make_path([3, 5])
+        assert p.nodes == (0, 3, 5, 9)
+        assert p.edges == [(0, 3), (3, 5), (5, 9)]
+        assert p.length == 2
+
+    def test_repeat_forwarder_counts_instances(self):
+        p = make_path([3, 5, 3])
+        assert p.forwarding_instances() == {3: 2, 5: 1}
+        assert p.forwarder_set == frozenset({3, 5})
+        assert p.length == 3
+
+    def test_initiator_may_forward(self):
+        p = make_path([3, 0, 5])
+        assert 0 in p.forwarder_set
+
+    def test_responder_cannot_forward(self):
+        with pytest.raises(ValueError):
+            make_path([9])
+
+    def test_endpoints_must_differ(self):
+        with pytest.raises(ValueError):
+            make_path([1], initiator=4, responder=4)
+
+    def test_round_index_positive(self):
+        with pytest.raises(ValueError):
+            make_path([1], rnd=0)
+
+    def test_hop_records_match_table1(self):
+        p = make_path([3, 5])
+        # Node 3: predecessor 0, successor 5.  Node 5: predecessor 3, succ 9.
+        assert p.hop_records() == [(0, 3, 5), (3, 5, 9)]
+
+    def test_empty_forwarders_allowed_structurally(self):
+        p = make_path([])
+        assert p.edges == [(0, 9)]
+        assert p.hop_records() == []
+
+
+class TestSeriesLog:
+    def test_union_forwarder_set(self):
+        log = SeriesLog(cid=1, initiator=0, responder=9)
+        log.add(make_path([1, 2], rnd=1))
+        log.add(make_path([2, 3], rnd=2))
+        assert log.union_forwarder_set() == frozenset({1, 2, 3})
+
+    def test_cid_mismatch_rejected(self):
+        log = SeriesLog(cid=1, initiator=0, responder=9)
+        with pytest.raises(ValueError):
+            log.add(make_path([1], cid=2))
+
+    def test_total_instances_accumulate(self):
+        log = SeriesLog(cid=1, initiator=0, responder=9)
+        log.add(make_path([1, 2], rnd=1))
+        log.add(make_path([1], rnd=2))
+        assert log.total_instances() == {1: 2, 2: 1}
+
+    def test_average_length(self):
+        log = SeriesLog(cid=1, initiator=0, responder=9)
+        log.add(make_path([1, 2], rnd=1))
+        log.add(make_path([1, 2, 3, 4], rnd=2))
+        assert log.average_length() == pytest.approx(3.0)
+
+    def test_average_length_empty_is_zero(self):
+        assert SeriesLog(cid=1, initiator=0, responder=9).average_length() == 0.0
+
+    def test_new_edges_per_round(self):
+        log = SeriesLog(cid=1, initiator=0, responder=9)
+        log.add(make_path([1, 2], rnd=1))   # edges (0,1),(1,2),(2,9)
+        log.add(make_path([1, 2], rnd=2))   # identical -> 0 new
+        log.add(make_path([1, 3], rnd=3))   # (1,3),(3,9) new -> 2 new
+        assert log.new_edges_per_round() == [0, 2]
+
+
+class TestPathFailure:
+    def test_carries_reformation_count(self):
+        exc = PathFailure("dead end", reformations=4)
+        assert exc.reformations == 4
+        assert "dead end" in str(exc)

@@ -1,0 +1,215 @@
+"""Tests for routing strategies (§2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.edge_quality import QualityWeights
+from repro.core.history import HistoryProfile
+from repro.core.routing import (
+    ForwardingContext,
+    RandomRouting,
+    UtilityModelI,
+    UtilityModelII,
+    strategy_by_name,
+)
+from repro.network.overlay import Overlay
+
+
+RESPONDER = 9
+
+
+def make_context(
+    overlay,
+    histories,
+    tau=2.0,
+    pf=50.0,
+    weights=QualityWeights(),
+    position_aware=False,
+):
+    return ForwardingContext(
+        cid=1,
+        round_index=2,
+        contract=Contract.from_tau(pf, tau),
+        responder=RESPONDER,
+        overlay=overlay,
+        cost_model=CostModel(bandwidth=None, flat_unit_cost=1.0),
+        histories=histories,
+        rng=np.random.default_rng(7),
+        weights=weights,
+        position_aware_selectivity=position_aware,
+    )
+
+
+@pytest.fixture
+def world():
+    """10-node overlay, all online; node 0's neighbours have controlled
+    availability counters."""
+    ov = Overlay(rng=np.random.default_rng(0), degree=4)
+    ov.bootstrap(10)
+    node = ov.nodes[0]
+    node.set_neighbors([1, 2, 3, 4])
+    node.neighbors[1].session_time = 40.0
+    node.neighbors[2].session_time = 30.0
+    node.neighbors[3].session_time = 20.0
+    node.neighbors[4].session_time = 10.0
+    histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
+    return ov, histories
+
+
+class TestCandidates:
+    def test_excludes_offline(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        ov.leave(1, 1.0)
+        cands = ctx.candidates(ov.nodes[0], predecessor=None)
+        assert 1 not in cands
+        assert set(cands) <= {2, 3, 4}
+
+    def test_excludes_responder(self, world):
+        ov, histories = world
+        node = ov.nodes[0]
+        node.add_neighbor(RESPONDER)
+        ctx = make_context(ov, histories)
+        assert RESPONDER not in ctx.candidates(node, predecessor=None)
+
+    def test_avoids_predecessor_when_possible(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        cands = ctx.candidates(ov.nodes[0], predecessor=2)
+        assert 2 not in cands
+
+    def test_predecessor_allowed_as_last_resort(self, world):
+        ov, histories = world
+        node = ov.nodes[0]
+        for nid in (1, 3, 4):
+            ov.leave(nid, 1.0)
+        ctx = make_context(ov, histories)
+        assert ctx.candidates(node, predecessor=2) == [2]
+
+
+class TestRandomRouting:
+    def test_uniform_over_candidates(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        strat = RandomRouting()
+        picks = [
+            strat.select_next_hop(ov.nodes[0], None, ctx) for _ in range(400)
+        ]
+        counts = {nbr: picks.count(nbr) for nbr in (1, 2, 3, 4)}
+        assert all(c > 50 for c in counts.values())  # roughly uniform
+
+    def test_none_when_isolated(self, world):
+        ov, histories = world
+        node = ov.nodes[0]
+        for nid in node.neighbor_ids():
+            ov.leave(nid, 1.0)
+        ctx = make_context(ov, histories)
+        assert RandomRouting().select_next_hop(node, None, ctx) is None
+
+
+class TestUtilityModelI:
+    def test_picks_highest_availability_without_history(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        # Flat transmission costs, no history: quality = w_a * alpha,
+        # so neighbour 1 (highest counter) wins.
+        assert UtilityModelI().select_next_hop(ov.nodes[0], None, ctx) == 1
+
+    def test_history_can_override_availability(self, world):
+        ov, histories = world
+        # Node 4 (lowest availability) was the successor on round 1.
+        histories[0].record(cid=1, round_index=1, predecessor=8, successor=4)
+        ctx = make_context(ov, histories)
+        # sigma(4) = 1.0 at round 2: q(4) = .5*1 + .5*0.1 = 0.55
+        # vs q(1) = .5*0 + .5*0.4 = 0.20 -> picks 4.
+        assert UtilityModelI().select_next_hop(ov.nodes[0], None, ctx) == 4
+
+    def test_declines_when_utility_negative(self, world):
+        ov, histories = world
+        node = ov.nodes[0]
+        node.participation_cost = 1000.0  # dwarfs any benefit
+        ctx = make_context(ov, histories)
+        assert UtilityModelI().select_next_hop(node, None, ctx) is None
+
+    def test_deterministic(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        picks = {
+            UtilityModelI().select_next_hop(ov.nodes[0], None, ctx)
+            for _ in range(10)
+        }
+        assert len(picks) == 1
+
+    def test_repeats_choice_across_rounds(self, world):
+        """The stability property: once chosen and recorded, the same next
+        hop keeps winning (selectivity reinforces it)."""
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        strat = UtilityModelI()
+        first = strat.select_next_hop(ov.nodes[0], None, ctx)
+        histories[0].record(cid=1, round_index=2, predecessor=8, successor=first)
+        for rnd in (3, 4, 5):
+            ctx.round_index = rnd
+            again = strat.select_next_hop(ov.nodes[0], None, ctx)
+            assert again == first
+            histories[0].record(cid=1, round_index=rnd, predecessor=8, successor=first)
+
+
+class TestUtilityModelII:
+    def test_lookahead_validation(self):
+        with pytest.raises(ValueError):
+            UtilityModelII(lookahead=0)
+
+    def test_path_quality_in_unit_interval(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        strat = UtilityModelII(lookahead=2)
+        node = ov.nodes[0]
+        for nbr in ctx.candidates(node, None):
+            pq = strat.path_quality_through(node, nbr, None, ctx)
+            assert 0.0 <= pq <= 1.0
+
+    def test_selects_some_live_neighbor(self, world):
+        ov, histories = world
+        ctx = make_context(ov, histories)
+        choice = UtilityModelII(lookahead=2).select_next_hop(ov.nodes[0], None, ctx)
+        assert choice in (1, 2, 3, 4)
+
+    def test_declines_on_negative_utility(self, world):
+        ov, histories = world
+        node = ov.nodes[0]
+        node.participation_cost = 1000.0
+        ctx = make_context(ov, histories)
+        assert UtilityModelII(lookahead=2).select_next_hop(node, None, ctx) is None
+
+    def test_prefers_downstream_quality(self):
+        """A neighbour whose own best edge is strong beats one with a weak
+        continuation, even at equal first-edge quality."""
+        ov = Overlay(rng=np.random.default_rng(1), degree=2)
+        ov.bootstrap(6)
+        n0, n1, n2 = ov.nodes[0], ov.nodes[1], ov.nodes[2]
+        n0.set_neighbors([1, 2])
+        n0.neighbors[1].session_time = 10.0
+        n0.neighbors[2].session_time = 10.0  # equal first edges
+        n1.set_neighbors([3, 4])
+        n1.neighbors[3].session_time = 100.0  # strong continuation
+        n2.set_neighbors([4, 5])
+        n2.neighbors[4].session_time = 1.0
+        n2.neighbors[5].session_time = 1.0  # weak continuation
+        histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
+        ctx = make_context(ov, histories)
+        assert UtilityModelII(lookahead=1).select_next_hop(n0, None, ctx) == 1
+
+
+class TestStrategyFactory:
+    def test_known_names(self):
+        assert isinstance(strategy_by_name("random"), RandomRouting)
+        assert isinstance(strategy_by_name("utility-I"), UtilityModelI)
+        s = strategy_by_name("utility-II", lookahead=3)
+        assert isinstance(s, UtilityModelII) and s.lookahead == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            strategy_by_name("bogus")

@@ -1,0 +1,151 @@
+"""Tests for cryptographic route confirmation and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.path import Path
+from repro.core.secure_path import (
+    RouteConfirmation,
+    SealedBox,
+    confirm_and_validate_path,
+    decode_hop_record,
+    encode_hop_record,
+    keystream_xor,
+    seal,
+    unseal,
+    validate_confirmation,
+)
+from repro.payment.crypto import RSAKeyPair
+
+
+@pytest.fixture(scope="module")
+def ephemeral():
+    return RSAKeyPair.generate(np.random.default_rng(0), bits=128)
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return RSAKeyPair.generate(np.random.default_rng(1), bits=128)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPrimitives:
+    def test_keystream_roundtrip(self):
+        data = b"the quick brown fox" * 10
+        key = b"k" * 32
+        assert keystream_xor(key, keystream_xor(key, data)) == data
+
+    def test_keystream_differs_per_key(self):
+        data = b"payload"
+        assert keystream_xor(b"a" * 32, data) != keystream_xor(b"b" * 32, data)
+
+    def test_seal_unseal_roundtrip(self, ephemeral, rng):
+        box = seal(ephemeral, b"secret hop record", rng)
+        assert unseal(ephemeral, box) == b"secret hop record"
+
+    def test_wrong_key_garbles(self, ephemeral, other_key, rng):
+        box = seal(ephemeral, b"secret", rng)
+        assert unseal(other_key, box) != b"secret"
+
+    def test_ciphertext_hides_plaintext(self, ephemeral, rng):
+        box = seal(ephemeral, b"secret", rng)
+        assert b"secret" not in box.ciphertext
+
+    def test_hop_record_roundtrip(self):
+        blob = encode_hop_record(3, 0, 5, 7)
+        assert decode_hop_record(blob) == (3, 0, 5, 7)
+
+    def test_bad_record_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_hop_record(b"short")
+
+
+def make_path(forwarders, cid=1, rnd=1):
+    return Path(cid=cid, round_index=rnd, initiator=0, responder=9,
+                forwarders=tuple(forwarders))
+
+
+class TestValidation:
+    def test_honest_confirmation_validates(self, ephemeral, rng):
+        path = make_path([3, 5, 7])
+        result = confirm_and_validate_path(path, ephemeral, rng)
+        assert result.valid, result.reason
+        assert result.forwarders == (3, 5, 7)
+
+    def test_single_hop_path(self, ephemeral, rng):
+        result = confirm_and_validate_path(make_path([4]), ephemeral, rng)
+        assert result.valid
+        assert result.forwarders == (4,)
+
+    def test_repeat_forwarder_rejected_as_duplicate(self, ephemeral, rng):
+        """A node appearing twice produces two records for the same node id;
+        the validator conservatively flags it (payment then falls back to
+        the unencrypted path info)."""
+        path = make_path([3, 5, 3])
+        result = confirm_and_validate_path(path, ephemeral, rng)
+        assert not result.valid
+
+    def test_forged_extra_record_detected(self, ephemeral, rng):
+        """A phantom forwarder appends a record for itself: the chain has
+        a dangling record and validation fails."""
+        path = make_path([3, 5])
+        conf = RouteConfirmation.start(1, 1)
+        for pred, node, succ in reversed(path.hop_records()):
+            conf.append_hop(ephemeral, node, pred, succ, rng)
+        conf.append_hop(ephemeral, 99, 42, 43, rng)  # phantom
+        result = validate_confirmation(ephemeral, conf, 0, 9)
+        assert not result.valid
+        assert "dangling" in result.reason or "chain" in result.reason
+
+    def test_dropped_record_detected(self, ephemeral, rng):
+        path = make_path([3, 5, 7])
+        conf = RouteConfirmation.start(1, 1)
+        records = list(reversed(path.hop_records()))
+        for pred, node, succ in records[:-1]:  # drop node 3's record
+            conf.append_hop(ephemeral, node, pred, succ, rng)
+        result = validate_confirmation(ephemeral, conf, 0, 9)
+        assert not result.valid
+
+    def test_tampered_ciphertext_detected(self, ephemeral, rng):
+        path = make_path([3, 5])
+        conf = RouteConfirmation.start(1, 1)
+        for pred, node, succ in reversed(path.hop_records()):
+            conf.append_hop(ephemeral, node, pred, succ, rng)
+        original = conf.records[0]
+        conf.records[0] = SealedBox(
+            wrapped_key=original.wrapped_key,
+            ciphertext=bytes(b ^ 0xFF for b in original.ciphertext),
+        )
+        result = validate_confirmation(ephemeral, conf, 0, 9)
+        assert not result.valid
+
+    def test_wrong_round_record_detected(self, ephemeral, rng):
+        conf = RouteConfirmation.start(1, round_index=2)
+        # Forwarder 3 replays its record from round 1.
+        from repro.core.secure_path import encode_hop_record, seal
+
+        blob = encode_hop_record(3, 0, 9, 1)
+        conf.records.append(seal(ephemeral, blob, rng))
+        result = validate_confirmation(ephemeral, conf, 0, 9)
+        assert not result.valid
+        assert "wrong round" in result.reason
+
+    def test_empty_confirmation_invalid(self, ephemeral):
+        conf = RouteConfirmation.start(1, 1)
+        assert not validate_confirmation(ephemeral, conf, 0, 9).valid
+
+    def test_forwarder_cannot_read_others_records(self, ephemeral, other_key, rng):
+        """Confidentiality: a forwarder holding its own keypair cannot
+        decode another forwarder's sealed record."""
+        conf = RouteConfirmation.start(1, 1)
+        conf.append_hop(ephemeral, 3, 0, 5, rng)
+        garbled = unseal(other_key, conf.records[0])
+        with pytest.raises(Exception):
+            rec = decode_hop_record(garbled)
+            # Even if it decodes structurally, it must not be the truth.
+            assert rec != (3, 0, 5, 1)
+            raise ValueError("garbled")

@@ -1,0 +1,104 @@
+"""Tests for the utility models (eqs. 1-2) and anonymity payoff."""
+
+import pytest
+
+from repro.core.contracts import Contract
+from repro.core.utility import (
+    anonymity_payoff,
+    entropy_anonymity_degree,
+    forwarder_utility_model1,
+    forwarder_utility_model2,
+    initiator_utility,
+)
+
+
+@pytest.fixture
+def contract():
+    return Contract(forwarding_benefit=10.0, routing_benefit=20.0)
+
+
+class TestModel1:
+    def test_formula(self, contract):
+        # P_f + q*P_r - C = 10 + 0.5*20 - 3
+        assert forwarder_utility_model1(contract, 0.5, 3.0) == pytest.approx(17.0)
+
+    def test_increasing_in_quality(self, contract):
+        u = [forwarder_utility_model1(contract, q, 1.0) for q in (0.0, 0.5, 1.0)]
+        assert u == sorted(u)
+        assert u[0] < u[-1]
+
+    def test_can_be_negative(self):
+        c = Contract(1.0, 1.0)
+        assert forwarder_utility_model1(c, 0.0, 5.0) < 0
+
+    def test_quality_domain_enforced(self, contract):
+        with pytest.raises(ValueError):
+            forwarder_utility_model1(contract, 1.5, 0.0)
+        with pytest.raises(ValueError):
+            forwarder_utility_model1(contract, -0.1, 0.0)
+
+    def test_negative_cost_rejected(self, contract):
+        with pytest.raises(ValueError):
+            forwarder_utility_model1(contract, 0.5, -1.0)
+
+
+class TestModel2:
+    def test_same_scale_as_model1(self, contract):
+        """Both models weight P_r by a [0,1] quality, so at equal quality
+        the utilities coincide."""
+        assert forwarder_utility_model2(contract, 0.7, 2.0) == pytest.approx(
+            forwarder_utility_model1(contract, 0.7, 2.0)
+        )
+
+    def test_domain_enforced(self, contract):
+        with pytest.raises(ValueError):
+            forwarder_utility_model2(contract, 2.0, 0.0)
+
+
+class TestAnonymityPayoff:
+    def test_strictly_decreasing_in_set_size(self):
+        values = [anonymity_payoff(k) for k in (1, 2, 5, 10, 50)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > values[-1]
+
+    def test_positive(self):
+        assert anonymity_payoff(1000) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anonymity_payoff(0)
+        with pytest.raises(ValueError):
+            anonymity_payoff(5, scale=-1.0)
+
+
+class TestInitiatorUtility:
+    def test_formula(self):
+        c = Contract(forwarding_benefit=10.0, routing_benefit=20.0)
+        # A(5) - 5*10 - 20 with A = 1000/5.
+        assert initiator_utility(c, 5) == pytest.approx(200.0 - 50.0 - 20.0)
+
+    def test_smaller_forwarder_set_preferred(self):
+        c = Contract(10.0, 20.0)
+        assert initiator_utility(c, 3) > initiator_utility(c, 10)
+
+
+class TestAnonymityDegree:
+    def test_uniform_is_one(self):
+        assert entropy_anonymity_degree([0.25] * 4) == pytest.approx(1.0)
+
+    def test_certain_is_zero(self):
+        assert entropy_anonymity_degree([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_skew_in_between(self):
+        d = entropy_anonymity_degree([0.7, 0.1, 0.1, 0.1])
+        assert 0.0 < d < 1.0
+
+    def test_normalises_unnormalised_input(self):
+        assert entropy_anonymity_degree([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_anonymity_degree([])
+
+    def test_single_candidate_is_zero(self):
+        assert entropy_anonymity_degree([1.0]) == 0.0

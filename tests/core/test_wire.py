@@ -1,0 +1,146 @@
+"""Tests for the wire protocol codecs (incl. hypothesis round-trips)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.wire import (
+    WIRE_VERSION,
+    ClaimSubmission,
+    ConfirmationEnvelope,
+    ContractOffer,
+    ForwardRequest,
+    WireError,
+    decode_any,
+)
+
+
+def make_offer(**kwargs):
+    defaults = dict(
+        cid=7, round_index=3, responder=39, forwarding_benefit=75.5,
+        routing_benefit=151.0,
+    )
+    defaults.update(kwargs)
+    return ContractOffer(**defaults)
+
+
+class TestRoundTrips:
+    def test_contract_offer(self):
+        offer = make_offer()
+        assert ContractOffer.decode(offer.encode()) == offer
+
+    def test_forward_request(self):
+        req = ForwardRequest(offer=make_offer(), hop_index=2, payload_digest=b"\x01" * 32)
+        assert ForwardRequest.decode(req.encode()) == req
+
+    def test_confirmation_envelope(self):
+        env = ConfirmationEnvelope(
+            cid=9,
+            round_index=4,
+            sealed_records=((12345678901234567890, b"cipher-a"), (42, b"")),
+        )
+        assert ConfirmationEnvelope.decode(env.encode()) == env
+
+    def test_claim_submission(self):
+        claim = ClaimSubmission(cid=3, forwarder=17, instances=6)
+        assert ClaimSubmission.decode(claim.encode()) == claim
+
+    def test_decode_any_dispatches(self):
+        for msg in (
+            make_offer(),
+            ForwardRequest(offer=make_offer(), hop_index=0, payload_digest=b"x"),
+            ConfirmationEnvelope(cid=1, round_index=1, sealed_records=()),
+            ClaimSubmission(cid=1, forwarder=2, instances=3),
+        ):
+            assert decode_any(msg.encode()) == msg
+
+
+class TestRejection:
+    def test_truncated_header(self):
+        with pytest.raises(WireError, match="truncated"):
+            ContractOffer.decode(b"\x01")
+
+    def test_truncated_body(self):
+        blob = make_offer().encode()
+        with pytest.raises(WireError):
+            ContractOffer.decode(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = make_offer().encode() + b"extra"
+        with pytest.raises(WireError):
+            ContractOffer.decode(blob)
+
+    def test_wrong_type(self):
+        blob = ClaimSubmission(cid=1, forwarder=2, instances=3).encode()
+        with pytest.raises(WireError, match="expected message type"):
+            ContractOffer.decode(blob)
+
+    def test_wrong_version(self):
+        blob = bytearray(make_offer().encode())
+        blob[0] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            ContractOffer.decode(bytes(blob))
+
+    def test_unknown_type_in_dispatch(self):
+        blob = bytearray(make_offer().encode())
+        blob[1] = 99
+        with pytest.raises(WireError, match="unknown message type"):
+            decode_any(bytes(blob))
+
+
+# ------------------------------------------------------------ properties
+offers = st.builds(
+    ContractOffer,
+    cid=st.integers(min_value=0, max_value=2**63 - 1),
+    round_index=st.integers(min_value=0, max_value=2**32 - 1),
+    responder=st.integers(min_value=0, max_value=2**63 - 1),
+    forwarding_benefit=st.floats(allow_nan=False, allow_infinity=False),
+    routing_benefit=st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+@given(offers)
+def test_offer_roundtrip_property(offer):
+    assert ContractOffer.decode(offer.encode()) == offer
+
+
+@given(
+    offer=offers,
+    hop=st.integers(min_value=0, max_value=2**32 - 1),
+    digest=st.binary(max_size=64),
+)
+def test_forward_request_roundtrip_property(offer, hop, digest):
+    req = ForwardRequest(offer=offer, hop_index=hop, payload_digest=digest)
+    assert ForwardRequest.decode(req.encode()) == req
+
+
+@given(
+    cid=st.integers(min_value=0, max_value=2**63 - 1),
+    rnd=st.integers(min_value=0, max_value=2**32 - 1),
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**256),
+            st.binary(max_size=128),
+        ),
+        max_size=10,
+    ),
+)
+def test_envelope_roundtrip_property(cid, rnd, records):
+    env = ConfirmationEnvelope(
+        cid=cid, round_index=rnd, sealed_records=tuple(records)
+    )
+    assert ConfirmationEnvelope.decode(env.encode()) == env
+
+
+@given(st.binary(max_size=80))
+def test_random_bytes_never_crash(blob):
+    """Arbitrary input raises WireError, never anything else."""
+    for cls in (ContractOffer, ForwardRequest, ConfirmationEnvelope, ClaimSubmission):
+        try:
+            cls.decode(blob)
+        except WireError:
+            pass
+    try:
+        decode_any(blob)
+    except WireError:
+        pass

@@ -1,0 +1,86 @@
+"""Tests for result export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import payoff_cdf
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    cdf_to_csv,
+    scenario_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+    table2_to_csv,
+)
+from repro.experiments.runner import SweepPoint, SweepResult
+from repro.experiments.scenario import run_scenario
+from repro.experiments.tables import Table2Result
+
+
+@pytest.fixture
+def sweep_result():
+    return SweepResult(
+        field_name="malicious_fraction",
+        metric_name="set_size",
+        points=[
+            SweepPoint(value=0.1, mean=15.0, ci95=1.0, samples=[14.0, 16.0]),
+            SweepPoint(value=0.5, mean=22.0, ci95=2.0, samples=[20.0, 24.0]),
+        ],
+    )
+
+
+def test_sweep_csv_roundtrip(tmp_path, sweep_result):
+    path = sweep_to_csv(sweep_result, tmp_path / "sweep.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["malicious_fraction", "set_size", "ci95", "n"]
+    assert rows[1] == ["0.1", "15.0", "1.0", "2"]
+    assert len(rows) == 3
+
+
+def test_sweep_json_roundtrip(tmp_path, sweep_result):
+    path = sweep_to_json(sweep_result, tmp_path / "nested" / "sweep.json")
+    data = json.loads(path.read_text())
+    assert data["field"] == "malicious_fraction"
+    assert data["points"][1]["samples"] == [20.0, 24.0]
+
+
+def test_scenario_json(tmp_path):
+    result = run_scenario(
+        ExperimentConfig(n_nodes=16, n_pairs=4, total_transmissions=24, use_bank=False)
+    )
+    path = scenario_to_json(result, tmp_path / "run.json")
+    data = json.loads(path.read_text())
+    assert data["config"]["n_nodes"] == 16
+    assert "avg_forwarder_set_size" in data["metrics"]
+    assert data["metrics"]["payoff_gini"] >= 0
+    assert set(map(int, data["payoffs"])) <= set(range(16))
+
+
+def test_table2_csv(tmp_path):
+    res = Table2Result(fractions=[0.1, 0.9], taus=[0.5, 2.0])
+    res.cells.update(
+        {(0.1, 0.5): 20.0, (0.1, 2.0): 22.0, (0.9, 0.5): 9.0, (0.9, 2.0): 10.0}
+    )
+    path = table2_to_csv(res, tmp_path / "table2.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["f", "tau=0.5", "tau=2"]
+    assert rows[-1][0] == "mean"
+    assert float(rows[-1][1]) == pytest.approx(14.5)
+
+
+def test_cdf_csv(tmp_path):
+    values, probs = payoff_cdf([3.0, 1.0, 2.0])
+    path = cdf_to_csv(values, probs, tmp_path / "cdf.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["payoff", "cumulative_probability"]
+    assert len(rows) == 4
+    assert float(rows[-1][1]) == 1.0
+
+
+def test_cdf_mismatch_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        cdf_to_csv([1.0], [0.5, 1.0], tmp_path / "x.csv")

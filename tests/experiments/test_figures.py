@@ -1,0 +1,59 @@
+"""Tests for the figure regenerators (micro scale — shapes only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    base_config,
+    figure3,
+    figure5,
+    payoff_cdf_at_fraction,
+)
+
+
+MICRO = dict(preset="quick", n_seeds=1)
+
+
+def test_base_config_presets():
+    q = base_config("quick")
+    p = base_config("paper")
+    assert q.total_transmissions < p.total_transmissions
+    assert p.n_pairs == 100
+    with pytest.raises(ValueError):
+        base_config("huge")
+
+
+def test_base_config_overrides():
+    cfg = base_config("quick", malicious_fraction=0.4)
+    assert cfg.malicious_fraction == 0.4
+
+
+def test_figure3_structure():
+    fig = figure3(fractions=(0.1, 0.5), **MICRO)
+    assert fig.strategy == "utility-I"
+    assert fig.fractions == [0.1, 0.5]
+    assert len(fig.means) == 2
+    assert all(m > 0 for m in fig.means)
+    assert len(fig.rows()) == 2
+
+
+def test_figure5_structure_and_shape():
+    fig = figure5(
+        fractions=(0.1,), strategies=("random", "utility-I"), **MICRO
+    )
+    assert set(fig.series) == {"random", "utility-I"}
+    # Headline result: utility routing shrinks the forwarder set.
+    assert fig.series["utility-I"][0] < fig.series["random"][0]
+
+
+def test_payoff_cdf_structure():
+    fig = payoff_cdf_at_fraction(
+        0.1, strategies=("random", "utility-I"), **MICRO
+    )
+    assert fig.fraction == 0.1
+    for vals, probs in fig.cdfs.values():
+        assert len(vals) == len(probs)
+        assert probs[-1] == pytest.approx(1.0)
+        assert all(np.diff(vals) >= 0)
+    stats = fig.stats()
+    assert {"mean", "max", "std"} <= set(stats["random"])

@@ -1,0 +1,61 @@
+"""Tests for the initiator-side contract planner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.planner import ContractPlan, evaluate_contract, plan_contract
+
+TINY = ExperimentConfig(n_nodes=20, n_pairs=4, total_transmissions=32, use_bank=False)
+
+
+def test_grid_covered():
+    res = plan_contract((5.0, 75.0), (0.5, 2.0), base=TINY, n_seeds=1)
+    assert len(res.plans) == 4
+    assert {(p.pf, p.tau) for p in res.plans} == {
+        (5.0, 0.5), (5.0, 2.0), (75.0, 0.5), (75.0, 2.0)
+    }
+
+
+def test_ranked_descending():
+    res = plan_contract((5.0, 75.0), (0.5,), base=TINY, n_seeds=1)
+    utilities = [p.initiator_utility for p in res.ranked()]
+    assert utilities == sorted(utilities, reverse=True)
+    assert res.best.initiator_utility == utilities[0]
+
+
+def test_starved_pf_fails_rounds():
+    """Below Proposition 3's threshold peers decline: rounds fail."""
+    plan = evaluate_contract(0.5, 1.0, TINY, anonymity_scale=1e4, n_seeds=1)
+    assert plan.failed_round_fraction > 0.5
+
+
+def test_generous_pf_forms_paths_but_costs():
+    cheap = evaluate_contract(20.0, 1.0, TINY, anonymity_scale=1e4, n_seeds=1)
+    rich = evaluate_contract(200.0, 1.0, TINY, anonymity_scale=1e4, n_seeds=1)
+    assert rich.failed_round_fraction < 0.2
+    assert rich.mean_outlay > cheap.mean_outlay
+    assert rich.initiator_utility < cheap.initiator_utility
+
+
+def test_interior_optimum():
+    """Utility peaks strictly inside the grid: both extremes lose."""
+    res = plan_contract((0.5, 20.0, 400.0), (1.0,), base=TINY,
+                        anonymity_scale=3e4, n_seeds=1)
+    by_pf = {p.pf: p.initiator_utility for p in res.plans}
+    assert by_pf[20.0] > by_pf[0.5]
+    assert by_pf[20.0] > by_pf[400.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        plan_contract((), (1.0,), base=TINY)
+    with pytest.raises(ValueError):
+        evaluate_contract(-1.0, 1.0, TINY, anonymity_scale=1e4)
+
+
+def test_plan_row_format():
+    plan = ContractPlan(
+        pf=10.0, tau=2.0, mean_set_size=8.0, mean_outlay=500.0,
+        failed_round_fraction=0.1, initiator_utility=1234.0,
+    )
+    assert plan.row() == ["10", "2", "8.0", "500", "0.10", "1234"]

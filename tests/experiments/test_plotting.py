@@ -1,0 +1,73 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ForwarderSetComparison, PayoffVsFraction
+from repro.experiments.plotting import (
+    cdf_plot,
+    forwarder_sets_plot,
+    line_plot,
+    payoff_vs_fraction_plot,
+)
+
+
+def test_line_plot_contains_markers_and_axes():
+    out = line_plot(
+        {"a": ([0, 1, 2], [0.0, 1.0, 4.0]), "b": ([0, 1, 2], [4.0, 1.0, 0.0])},
+        width=30,
+        height=10,
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "o = a" in out and "x = b" in out
+    assert out.count("o") >= 3  # at least the three points
+    # y-axis extremes rendered.
+    assert "4.00" in out and "0.00" in out
+
+
+def test_line_plot_extremes_positioned():
+    out = line_plot({"s": ([0, 10], [0.0, 1.0])}, width=20, height=5)
+    rows = [l for l in out.splitlines() if "|" in l]
+    # Max y (1.0) on the top canvas row, min on the bottom.
+    assert "o" in rows[0]
+    assert "o" in rows[-1]
+
+
+def test_line_plot_validation():
+    with pytest.raises(ValueError):
+        line_plot({})
+    with pytest.raises(ValueError):
+        line_plot({"a": ([1], [1, 2])})
+    with pytest.raises(ValueError):
+        line_plot({"a": ([], [])})
+    with pytest.raises(ValueError):
+        line_plot({"a": ([1], [1])}, width=2)
+
+
+def test_flat_series_does_not_crash():
+    out = line_plot({"flat": ([0, 1], [5.0, 5.0])})
+    assert "flat" in out
+
+
+def test_cdf_plot_labels():
+    values = np.array([1.0, 2.0, 3.0])
+    probs = np.array([1 / 3, 2 / 3, 1.0])
+    out = cdf_plot({"random": (values, probs)}, title="Figure 6")
+    assert "Figure 6" in out
+    assert "P(X <= x)" in out
+
+
+def test_figure_adapters():
+    fig3 = PayoffVsFraction(
+        strategy="utility-I", fractions=[0.1, 0.5], means=[300.0, 200.0], ci95=[5, 5]
+    )
+    assert "utility-I" in payoff_vs_fraction_plot(fig3)
+    fig5 = ForwarderSetComparison(
+        fractions=[0.1, 0.5],
+        series={"random": [25.0, 26.0], "utility-I": [10.0, 15.0]},
+        ci95={},
+    )
+    out = forwarder_sets_plot(fig5)
+    assert "random" in out and "utility-I" in out

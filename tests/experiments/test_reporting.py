@@ -1,0 +1,68 @@
+"""Tests for text reporting."""
+
+import numpy as np
+
+from repro.experiments.figures import ForwarderSetComparison, PayoffCDF, PayoffVsFraction
+from repro.experiments.reporting import (
+    format_table,
+    render_forwarder_sets,
+    render_payoff_cdf,
+    render_payoff_vs_fraction,
+    render_table2,
+)
+from repro.experiments.tables import Table2Result
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2], [30, 40]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert len(lines) == 5  # title, header, rule, 2 rows
+
+
+def test_render_payoff_vs_fraction():
+    fig = PayoffVsFraction(
+        strategy="utility-I", fractions=[0.1, 0.5], means=[300.0, 150.0], ci95=[10.0, 8.0]
+    )
+    text = render_payoff_vs_fraction(fig, "Figure 3")
+    assert "Figure 3" in text
+    assert "utility-I" in text
+    assert "300.0" in text and "+-10.0" in text
+
+
+def test_render_forwarder_sets():
+    fig = ForwarderSetComparison(
+        fractions=[0.1],
+        series={"random": [25.0], "utility-I": [10.0]},
+        ci95={"random": [1.0], "utility-I": [0.5]},
+    )
+    text = render_forwarder_sets(fig)
+    assert "random" in text and "utility-I" in text
+    assert "25.00" in text
+
+
+def test_render_payoff_cdf():
+    fig = PayoffCDF(fraction=0.1)
+    vals = np.array([1.0, 2.0, 3.0, 4.0])
+    probs = np.array([0.25, 0.5, 0.75, 1.0])
+    fig.cdfs["random"] = (vals, probs)
+    text = render_payoff_cdf(fig, "Figure 6")
+    assert "Figure 6" in text
+    assert "p50" in text and "mean" in text
+
+
+def test_render_table2_includes_paper_reference():
+    res = Table2Result(fractions=[0.1], taus=[0.5])
+    res.cells[(0.1, 0.5)] = 123.0
+    text = render_table2(res)
+    assert "123" in text
+    assert "paper" in text.lower()
+    assert "409" in text  # the paper's printed cell
+
+
+def test_render_table2_without_paper():
+    res = Table2Result(fractions=[0.1], taus=[0.5])
+    res.cells[(0.1, 0.5)] = 123.0
+    text = render_table2(res, include_paper=False)
+    assert "409" not in text

@@ -1,0 +1,83 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    metric_average_good_payoff,
+    metric_forwarder_set_size,
+    metric_routing_efficiency,
+    pooled_good_payoffs,
+    run_replicates,
+    sweep,
+)
+
+TINY = ExperimentConfig(
+    n_nodes=16, n_pairs=4, total_transmissions=24, use_bank=False
+)
+
+
+def test_run_replicates_vary_only_seed():
+    results = run_replicates(TINY, n_seeds=3, seed0=10)
+    assert [r.config.seed for r in results] == [10, 11, 12]
+    assert all(r.config.n_nodes == 16 for r in results)
+
+
+def test_run_replicates_validation():
+    with pytest.raises(ValueError):
+        run_replicates(TINY, n_seeds=0)
+
+
+def test_sweep_structure():
+    res = sweep(
+        TINY,
+        "malicious_fraction",
+        [0.1, 0.5],
+        metric_forwarder_set_size,
+        metric_name="set_size",
+        n_seeds=2,
+    )
+    assert res.xs() == [0.1, 0.5]
+    assert len(res.means()) == 2
+    assert len(res.cis()) == 2
+    assert all(len(p.samples) == 2 for p in res.points)
+    rows = res.as_rows()
+    assert rows[0]["malicious_fraction"] == 0.1
+    assert "set_size" in rows[0]
+
+
+def test_pooled_good_payoffs_concatenates():
+    results = run_replicates(TINY, n_seeds=2)
+    pooled = pooled_good_payoffs(results)
+    assert len(pooled) == sum(len(r.good_payoffs()) for r in results)
+
+
+def test_metrics_return_floats():
+    r = run_replicates(TINY, n_seeds=1)[0]
+    for metric in (
+        metric_average_good_payoff,
+        metric_forwarder_set_size,
+        metric_routing_efficiency,
+    ):
+        assert isinstance(metric(r), float)
+
+
+def test_routing_efficiency_positive_on_real_run():
+    r = run_replicates(TINY, n_seeds=1)[0]
+    assert metric_routing_efficiency(r) > 0
+
+
+def test_parallel_replicates_identical_to_serial():
+    """Replicates are embarrassingly parallel: process-pool results must
+    be bit-identical to serial ones."""
+    serial = run_replicates(TINY, n_seeds=3, seed0=5, n_jobs=1)
+    parallel = run_replicates(TINY, n_seeds=3, seed0=5, n_jobs=2)
+    for a, b in zip(serial, parallel):
+        assert a.payoffs == b.payoffs
+        assert a.total_reformations == b.total_reformations
+        assert a.average_forwarder_set_size() == b.average_forwarder_set_size()
+
+
+def test_parallel_jobs_validation():
+    with pytest.raises(ValueError):
+        run_replicates(TINY, n_seeds=2, n_jobs=0)

@@ -1,0 +1,76 @@
+"""Tests for the Gini metric and scenario-level attack summaries."""
+
+import pytest
+
+from repro.core.metrics import gini_coefficient
+from repro.experiments.config import SMALL_CONFIG
+from repro.experiments.scenario import run_scenario
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_full_concentration(self):
+        # One node holds everything: Gini -> (n-1)/n.
+        g = gini_coefficient([0.0, 0.0, 0.0, 100.0])
+        assert g == pytest.approx(0.75)
+
+    def test_known_value(self):
+        # Classic example: [1, 2, 3, 4] -> Gini = 0.25.
+        assert gini_coefficient([1.0, 2.0, 3.0, 4.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1.0, 5.0, 9.0])
+        b = gini_coefficient([10.0, 50.0, 90.0])
+        assert a == pytest.approx(b)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+
+class TestScenarioMetrics:
+    @pytest.fixture(scope="class")
+    def utility_result(self):
+        return run_scenario(
+            SMALL_CONFIG.with_overrides(seed=31, strategy="utility-I")
+        )
+
+    @pytest.fixture(scope="class")
+    def random_result(self):
+        return run_scenario(
+            SMALL_CONFIG.with_overrides(seed=31, strategy="random")
+        )
+
+    def test_gini_in_unit_interval(self, utility_result):
+        assert 0.0 <= utility_result.payoff_gini() <= 1.0
+
+    def test_utility_routing_concentrates_income(
+        self, utility_result, random_result
+    ):
+        """The quantified figure-6/7 skew: higher Gini under utility."""
+        assert utility_result.payoff_gini() > random_result.payoff_gini()
+
+    def test_predecessor_summary_fields(self, utility_result):
+        s = utility_result.predecessor_attack_summary()
+        assert set(s) == {
+            "series_evaluated",
+            "identification_rate",
+            "mean_confidence",
+        }
+        assert 0.0 <= s["identification_rate"] <= 1.0
+        assert 0.0 <= s["mean_confidence"] <= 1.0
+
+    def test_predecessor_summary_empty_without_adversaries(self):
+        r = run_scenario(
+            SMALL_CONFIG.with_overrides(seed=32, malicious_fraction=0.0)
+        )
+        s = r.predecessor_attack_summary()
+        assert s["series_evaluated"] == 0.0
+        assert s["identification_rate"] == 0.0

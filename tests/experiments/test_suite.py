@@ -1,0 +1,98 @@
+"""Tests for the reproduction suite runner (stubbed artefacts for speed)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments.suite as suite_mod
+from repro.experiments.figures import ForwarderSetComparison, PayoffCDF, PayoffVsFraction
+from repro.experiments.suite import (
+    ArtefactResult,
+    SuiteResult,
+    _check_cdf,
+    _check_fig34,
+    _check_fig5,
+    _check_table2,
+)
+from repro.experiments.tables import Table2Result
+
+
+class TestShapeChecks:
+    def test_fig34_pass_and_fail(self):
+        good = PayoffVsFraction("utility-I", [0.1, 0.5, 0.9], [300, 250, 200], [1, 1, 1])
+        bad = PayoffVsFraction("utility-I", [0.1, 0.5, 0.9], [200, 250, 300], [1, 1, 1])
+        assert _check_fig34(good)[0]
+        assert not _check_fig34(bad)[0]
+
+    def test_fig5_pass_and_fail(self):
+        good = ForwarderSetComparison(
+            fractions=[0.1],
+            series={"random": [25.0], "utility-I": [10.0], "utility-II": [11.0]},
+        )
+        assert _check_fig5(good)[0]
+        bad = ForwarderSetComparison(
+            fractions=[0.1],
+            series={"random": [10.0], "utility-I": [25.0], "utility-II": [11.0]},
+        )
+        assert not _check_fig5(bad)[0]
+
+    def test_cdf_check(self):
+        fig = PayoffCDF(fraction=0.1)
+        fig.cdfs["random"] = (np.array([1.0, 2.0, 3.0]), np.array([1/3, 2/3, 1.0]))
+        fig.cdfs["utility-I"] = (np.array([0.5, 2.0, 9.0]), np.array([1/3, 2/3, 1.0]))
+        fig.cdfs["utility-II"] = (np.array([0.5, 2.0, 8.0]), np.array([1/3, 2/3, 1.0]))
+        assert _check_cdf(fig)[0]
+
+    def test_table2_check(self):
+        res = Table2Result(fractions=[0.1, 0.9], taus=[0.5])
+        res.cells[(0.1, 0.5)] = 20.0
+        res.cells[(0.9, 0.5)] = 9.0
+        assert _check_table2(res)[0]
+        res.cells[(0.9, 0.5)] = 30.0
+        assert not _check_table2(res)[0]
+
+
+class TestSuiteResult:
+    def test_markdown_contains_verdicts(self):
+        s = SuiteResult(preset="quick", n_seeds=2)
+        s.artefacts.append(
+            ArtefactResult("Figure 3", True, "ok", "rendered-table", 1.2)
+        )
+        s.artefacts.append(
+            ArtefactResult("Table 2", False, "inverted", "rendered2", 2.0)
+        )
+        md = s.to_markdown()
+        assert "| Figure 3 | PASS" in md
+        assert "FAIL (inverted)" in md
+        assert "rendered-table" in md
+        assert not s.all_passed
+
+
+def test_run_suite_micro(monkeypatch):
+    """End-to-end suite run with artefact functions stubbed to be fast."""
+    fig = PayoffVsFraction("utility-I", [0.1, 0.9], [300.0, 200.0], [1, 1])
+    comparison = ForwarderSetComparison(
+        fractions=[0.1], series={"random": [25.0], "utility-I": [10.0], "utility-II": [11.0]}
+    )
+    cdf = PayoffCDF(fraction=0.1)
+    cdf.cdfs["random"] = (np.array([1.0, 2.0]), np.array([0.5, 1.0]))
+    cdf.cdfs["utility-I"] = (np.array([0.5, 9.0]), np.array([0.5, 1.0]))
+    cdf.cdfs["utility-II"] = (np.array([0.5, 8.0]), np.array([0.5, 1.0]))
+    t2 = Table2Result(fractions=[0.1, 0.5, 0.9], taus=[0.5, 1.0, 2.0, 4.0])
+    for f, scale in ((0.1, 20.0), (0.5, 12.0), (0.9, 8.0)):
+        for tau in t2.taus:
+            t2.cells[(f, tau)] = scale
+    monkeypatch.setattr(suite_mod, "figure3", lambda **kw: fig)
+    monkeypatch.setattr(suite_mod, "figure4", lambda **kw: fig)
+    monkeypatch.setattr(suite_mod, "figure5", lambda **kw: comparison)
+    monkeypatch.setattr(suite_mod, "figure6", lambda **kw: cdf)
+    monkeypatch.setattr(suite_mod, "figure7", lambda **kw: cdf)
+    monkeypatch.setattr(suite_mod, "table2", lambda **kw: t2)
+
+    messages = []
+    result = suite_mod.run_suite(preset="quick", n_seeds=1, progress=messages.append)
+    # 6 stubbed artefacts pass; Proposition 1 ran for real.
+    assert len(result.artefacts) == 7
+    assert [a.name for a in result.artefacts][0].startswith("Figure 3")
+    assert all(a.passed for a in result.artefacts)
+    assert len(messages) == 7
+    assert "Reproduction suite report" in result.to_markdown()

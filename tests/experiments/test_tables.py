@@ -1,0 +1,33 @@
+"""Tests for the Table 2 regenerator (micro scale)."""
+
+import pytest
+
+from repro.experiments.tables import PAPER_TABLE2, PAPER_TABLE2_MEANS, table2
+
+
+def test_paper_reference_values_complete():
+    assert len(PAPER_TABLE2) == 12
+    assert set(PAPER_TABLE2_MEANS) == {0.5, 1.0, 2.0, 4.0}
+
+
+def test_table2_micro_grid():
+    res = table2(fractions=(0.1, 0.9), taus=(0.5, 2.0), preset="quick", n_seeds=1)
+    assert set(res.cells) == {(0.1, 0.5), (0.1, 2.0), (0.9, 0.5), (0.9, 2.0)}
+    assert all(v >= 0 for v in res.cells.values())
+
+
+def test_table2_efficiency_declines_with_f():
+    """The paper's strongest row-wise shape: f=0.1 >> f=0.9."""
+    res = table2(fractions=(0.1, 0.9), taus=(2.0,), preset="quick", n_seeds=2)
+    assert res.cells[(0.1, 2.0)] > res.cells[(0.9, 2.0)]
+
+
+def test_column_means():
+    res = table2(fractions=(0.1, 0.9), taus=(0.5,), preset="quick", n_seeds=1)
+    expected = (res.cells[(0.1, 0.5)] + res.cells[(0.9, 0.5)]) / 2
+    assert res.column_means()[0.5] == pytest.approx(expected)
+
+
+def test_row_accessor():
+    res = table2(fractions=(0.1,), taus=(0.5, 1.0), preset="quick", n_seeds=1)
+    assert res.row(0.1) == [res.cells[(0.1, 0.5)], res.cells[(0.1, 1.0)]]

@@ -1,0 +1,127 @@
+"""Tests for extensive-form games and backward induction."""
+
+import pytest
+
+from repro.gametheory.extensive_form import (
+    GameTree,
+    TreeNode,
+    backward_induction,
+    is_subgame_perfect,
+)
+
+
+def leaf(label, *payoffs):
+    return TreeNode(label=label, payoffs=tuple(payoffs))
+
+
+@pytest.fixture
+def ultimatum():
+    """Mini ultimatum game: P0 offers fair/greedy; P1 accepts/rejects."""
+    root = TreeNode(
+        label="offer",
+        player=0,
+        children={
+            "fair": TreeNode(
+                label="fair",
+                player=1,
+                children={
+                    "accept": leaf("fa", 5.0, 5.0),
+                    "reject": leaf("fr", 0.0, 0.0),
+                },
+            ),
+            "greedy": TreeNode(
+                label="greedy",
+                player=1,
+                children={
+                    "accept": leaf("ga", 9.0, 1.0),
+                    "reject": leaf("gr", 0.0, 0.0),
+                },
+            ),
+        },
+    )
+    return GameTree(n_players=2, root=root)
+
+
+def test_backward_induction_spne(ultimatum):
+    res = backward_induction(ultimatum)
+    # Rational responder accepts any positive offer -> proposer goes greedy.
+    assert res.strategy["offer"] == "greedy"
+    assert res.strategy["greedy"] == "accept"
+    assert res.strategy["fair"] == "accept"  # off-path but still optimal
+    assert res.equilibrium_payoffs == (9.0, 1.0)
+    assert res.equilibrium_path == ("greedy", "accept")
+
+
+def test_induction_result_is_subgame_perfect(ultimatum):
+    res = backward_induction(ultimatum)
+    assert is_subgame_perfect(ultimatum, res.strategy)
+
+
+def test_non_spne_strategy_detected(ultimatum):
+    bad = {"offer": "fair", "fair": "accept", "greedy": "reject"}
+    # "greedy -> reject" is not credible (accept pays 1 > 0), and given
+    # credible acceptance "offer -> fair" is not optimal either.
+    assert not is_subgame_perfect(ultimatum, bad)
+
+
+def test_tie_break_lexicographic():
+    root = TreeNode(
+        label="r",
+        player=0,
+        children={"b": leaf("b", 1.0), "a": leaf("a", 1.0)},
+    )
+    res = backward_induction(GameTree(n_players=1, root=root))
+    assert res.strategy["r"] == "a"
+
+
+def test_subgame_count(ultimatum):
+    assert ultimatum.subgame_count() == 3
+
+
+def test_validation_terminal_payoff_length():
+    with pytest.raises(ValueError):
+        GameTree(n_players=2, root=leaf("x", 1.0))  # needs 2 payoffs
+
+
+def test_validation_decision_needs_children():
+    with pytest.raises(ValueError):
+        GameTree(n_players=1, root=TreeNode(label="x", player=0))
+
+
+def test_validation_player_index():
+    root = TreeNode(label="x", player=5, children={"a": leaf("a", 1.0)})
+    with pytest.raises(ValueError):
+        GameTree(n_players=1, root=root)
+
+
+def test_three_stage_depth():
+    """Backward induction propagates through nested stages."""
+    root = TreeNode(
+        label="s1",
+        player=0,
+        children={
+            "L": TreeNode(
+                label="s2",
+                player=1,
+                children={
+                    "l": TreeNode(
+                        label="s3",
+                        player=2,
+                        children={
+                            "x": leaf("x", 1.0, 1.0, 3.0),
+                            "y": leaf("y", 2.0, 2.0, 1.0),
+                        },
+                    ),
+                    "r": leaf("r", 0.0, 5.0, 0.0),
+                },
+            ),
+            "R": leaf("R", 1.5, 0.0, 0.0),
+        },
+    )
+    res = backward_induction(GameTree(n_players=3, root=root))
+    # Stage 3 picks x (3 > 1); stage 2 compares (1,1,3) vs (0,5,0) -> r;
+    # stage 1 compares L=(0,5,0) vs R=(1.5,...) -> R.
+    assert res.strategy["s3"] == "x"
+    assert res.strategy["s2"] == "r"
+    assert res.strategy["s1"] == "R"
+    assert res.equilibrium_payoffs == (1.5, 0.0, 0.0)

@@ -1,0 +1,115 @@
+"""Tests for the paper's forwarding games."""
+
+import pytest
+
+from repro.core.contracts import Contract
+from repro.gametheory.extensive_form import backward_induction, is_subgame_perfect
+from repro.gametheory.forwarding_game import (
+    FORWARD_NONRANDOM,
+    FORWARD_RANDOM,
+    NOT_PARTICIPATE,
+    STAGE_STRATEGIES,
+    StageGameParams,
+    build_forwarding_stage_game,
+    build_path_formation_game,
+)
+
+
+@pytest.fixture
+def rich_contract():
+    return Contract.from_tau(forwarding_benefit=75.0, tau=2.0)
+
+
+class TestStageGame:
+    def test_nonrandom_is_equilibrium_with_good_incentives(self, rich_contract):
+        g = build_forwarding_stage_game(
+            StageGameParams(contract=rich_contract), n_players=2
+        )
+        idx = STAGE_STRATEGIES.index(FORWARD_NONRANDOM)
+        assert (idx, idx) in g.pure_nash_equilibria()
+
+    def test_nonrandom_dominant_for_each_player(self, rich_contract):
+        g = build_forwarding_stage_game(
+            StageGameParams(contract=rich_contract), n_players=3
+        )
+        idx = STAGE_STRATEGIES.index(FORWARD_NONRANDOM)
+        for p in range(3):
+            assert idx in g.dominant_strategies(p)
+
+    def test_null_preferred_when_costs_exceed_benefits(self):
+        poor = Contract(forwarding_benefit=1.0, routing_benefit=1.0)
+        g = build_forwarding_stage_game(
+            StageGameParams(contract=poor, cost=50.0), n_players=2
+        )
+        null = STAGE_STRATEGIES.index(NOT_PARTICIPATE)
+        assert (null, null) in g.pure_nash_equilibria()
+
+    def test_random_router_dilutes_everyone(self, rich_contract):
+        """A switch to random routing lowers the *other* player's payoff —
+        the externality that motivates the shared routing benefit."""
+        params = StageGameParams(contract=rich_contract)
+        g = build_forwarding_stage_game(params, n_players=2)
+        nr = STAGE_STRATEGIES.index(FORWARD_NONRANDOM)
+        rd = STAGE_STRATEGIES.index(FORWARD_RANDOM)
+        payoff_vs_nonrandom = g.payoff((nr, nr), 0)
+        payoff_vs_random = g.payoff((nr, rd), 0)
+        assert payoff_vs_random < payoff_vs_nonrandom
+
+    def test_param_validation(self, rich_contract):
+        with pytest.raises(ValueError):
+            StageGameParams(contract=rich_contract, cost=-1.0)
+        with pytest.raises(ValueError):
+            StageGameParams(contract=rich_contract, quality_random=1.5)
+        with pytest.raises(ValueError):
+            build_forwarding_stage_game(
+                StageGameParams(contract=rich_contract), n_players=0
+            )
+
+
+class TestPathFormationGame:
+    def adjacency(self):
+        # 0 -> {1 (q=.9), 2 (q=.3)}; 1 -> {R (q=.8)}; 2 -> {R (q=.9)}.
+        return {
+            0: [(1, 0.9), (2, 0.3)],
+            1: [(9, 0.8)],
+            2: [(9, 0.9)],
+        }
+
+    def test_spne_picks_best_mean_quality_path(self, rich_contract):
+        tree, players = build_path_formation_game(
+            self.adjacency(), initiator=0, responder=9, contract=rich_contract
+        )
+        res = backward_induction(tree)
+        # Path 0->1->R mean q = .85 beats 0->2->R mean q = .6.
+        assert res.equilibrium_path[0] == "1"
+        assert is_subgame_perfect(tree, res.strategy)
+
+    def test_forwarders_on_winning_path_paid(self, rich_contract):
+        tree, players = build_path_formation_game(
+            self.adjacency(), 0, 9, rich_contract, hop_cost=2.0
+        )
+        res = backward_induction(tree)
+        p1 = players[1]
+        mean_q = (0.9 + 0.8) / 2
+        expected = 75.0 + mean_q * 150.0 - 2.0
+        assert res.equilibrium_payoffs[p1] == pytest.approx(expected)
+
+    def test_incomplete_path_punished(self, rich_contract):
+        # Dead-end overlay: no route to R within depth.
+        adjacency = {0: [(1, 0.9)], 1: [(2, 0.9)], 2: []}
+        tree, players = build_path_formation_game(
+            adjacency, 0, 9, rich_contract, hop_cost=2.0, max_depth=3
+        )
+        res = backward_induction(tree)
+        # Someone eats a cost; no one profits.
+        assert all(p <= 0 for p in res.equilibrium_payoffs)
+
+    def test_no_cycles_in_tree(self, rich_contract):
+        adjacency = {0: [(1, 0.5)], 1: [(0, 0.5), (9, 0.9)]}
+        tree, _ = build_path_formation_game(adjacency, 0, 9, rich_contract)
+        res = backward_induction(tree)
+        assert res.equilibrium_path == ("1", "9")
+
+    def test_same_endpoints_rejected(self, rich_contract):
+        with pytest.raises(ValueError):
+            build_path_formation_game({}, 3, 3, rich_contract)

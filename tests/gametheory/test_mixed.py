@@ -1,0 +1,116 @@
+"""Tests for mixed-strategy solving and verification."""
+
+import numpy as np
+import pytest
+
+from repro.gametheory.mixed import (
+    expected_payoffs,
+    is_mixed_best_response,
+    is_mixed_equilibrium,
+    solve_zero_sum,
+)
+from repro.gametheory.normal_form import two_player_game
+
+
+@pytest.fixture
+def matching_pennies():
+    return two_player_game(
+        ["H", "T"],
+        ["H", "T"],
+        row_payoffs=[[1, -1], [-1, 1]],
+        col_payoffs=[[-1, 1], [1, -1]],
+    )
+
+
+class TestZeroSumLP:
+    def test_matching_pennies_uniform_value_zero(self):
+        sol = solve_zero_sum([[1, -1], [-1, 1]])
+        assert sol.value == pytest.approx(0.0, abs=1e-8)
+        assert sol.row_strategy == pytest.approx((0.5, 0.5), abs=1e-6)
+        assert sol.col_strategy == pytest.approx((0.5, 0.5), abs=1e-6)
+
+    def test_rock_paper_scissors(self):
+        a = [[0, -1, 1], [1, 0, -1], [-1, 1, 0]]
+        sol = solve_zero_sum(a)
+        assert sol.value == pytest.approx(0.0, abs=1e-8)
+        assert sol.row_strategy == pytest.approx((1/3,) * 3, abs=1e-6)
+
+    def test_dominant_row_gets_full_mass(self):
+        # Row 0 dominates: A = [[3, 2], [1, 0]].
+        sol = solve_zero_sum([[3, 2], [1, 0]])
+        assert sol.row_strategy[0] == pytest.approx(1.0, abs=1e-6)
+        assert sol.value == pytest.approx(2.0, abs=1e-6)  # column plays col 1
+
+    def test_asymmetric_known_value(self):
+        # Classic example: A = [[2, -1], [-1, 1]]; value = 1/5.
+        sol = solve_zero_sum([[2, -1], [-1, 1]])
+        assert sol.value == pytest.approx(0.2, abs=1e-6)
+        assert sol.row_strategy == pytest.approx((0.4, 0.6), abs=1e-6)
+
+    def test_negative_matrix_shift_invariance(self):
+        base = solve_zero_sum([[2, -1], [-1, 1]])
+        shifted = solve_zero_sum(np.array([[2, -1], [-1, 1]]) - 10.0)
+        assert shifted.row_strategy == pytest.approx(base.row_strategy, abs=1e-6)
+        assert shifted.value == pytest.approx(base.value - 10.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_zero_sum(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            solve_zero_sum([1, 2, 3])
+
+
+class TestExpectedPayoffs:
+    def test_pure_profile_matches_tensor(self, matching_pennies):
+        payoffs = expected_payoffs(matching_pennies, [[1, 0], [0, 1]])
+        assert payoffs == pytest.approx((-1.0, 1.0))
+
+    def test_uniform_profile_zero(self, matching_pennies):
+        payoffs = expected_payoffs(matching_pennies, [[0.5, 0.5], [0.5, 0.5]])
+        assert payoffs == pytest.approx((0.0, 0.0), abs=1e-12)
+
+    def test_validation(self, matching_pennies):
+        with pytest.raises(ValueError):
+            expected_payoffs(matching_pennies, [[1, 0]])
+        with pytest.raises(ValueError):
+            expected_payoffs(matching_pennies, [[0.7, 0.7], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            expected_payoffs(matching_pennies, [[1, 0, 0], [0.5, 0.5]])
+
+
+class TestEquilibriumVerification:
+    def test_uniform_is_equilibrium_in_pennies(self, matching_pennies):
+        assert is_mixed_equilibrium(
+            matching_pennies, [[0.5, 0.5], [0.5, 0.5]]
+        )
+
+    def test_skewed_is_not_equilibrium(self, matching_pennies):
+        assert not is_mixed_equilibrium(
+            matching_pennies, [[0.9, 0.1], [0.5, 0.5]]
+        )
+
+    def test_pure_equilibrium_verifies(self):
+        pd = two_player_game(
+            ["C", "D"], ["C", "D"],
+            row_payoffs=[[-1, -3], [0, -2]],
+            col_payoffs=[[-1, 0], [-3, -2]],
+        )
+        assert is_mixed_equilibrium(pd, [[0, 1], [0, 1]])
+        assert not is_mixed_equilibrium(pd, [[1, 0], [1, 0]])
+
+    def test_best_response_detects_profitable_deviation(self, matching_pennies):
+        # Against a column player leaning H, row should play H.
+        assert not is_mixed_best_response(
+            matching_pennies, 0, [[0.0, 1.0], [0.9, 0.1]]
+        )
+        assert is_mixed_best_response(
+            matching_pennies, 0, [[1.0, 0.0], [0.9, 0.1]]
+        )
+
+    def test_lp_solution_verifies_as_equilibrium(self, matching_pennies):
+        sol = solve_zero_sum([[1, -1], [-1, 1]])
+        assert is_mixed_equilibrium(
+            matching_pennies,
+            [list(sol.row_strategy), list(sol.col_strategy)],
+            tolerance=1e-6,
+        )

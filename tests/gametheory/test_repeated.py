@@ -1,0 +1,111 @@
+"""Tests for finitely repeated games — cooperation unravelling vs the
+paper's per-stage payment fix."""
+
+import pytest
+
+from repro.core.contracts import Contract
+from repro.gametheory.forwarding_game import (
+    STAGE_STRATEGIES,
+    StageGameParams,
+    build_forwarding_stage_game,
+)
+from repro.gametheory.normal_form import two_player_game
+from repro.gametheory.repeated import (
+    RepeatedGame,
+    always,
+    grim_trigger,
+    one_shot_deviation_profitable,
+    play,
+    tit_for_tat,
+)
+
+
+@pytest.fixture
+def pd():
+    # C=0, D=1; defect strictly dominant per stage.
+    return two_player_game(
+        ["C", "D"],
+        ["C", "D"],
+        row_payoffs=[[3, 0], [5, 1]],
+        col_payoffs=[[3, 5], [0, 1]],
+    )
+
+
+class TestPlay:
+    def test_always_profiles(self, pd):
+        game = RepeatedGame(stage=pd, rounds=4)
+        history, payoffs = play(game, [always(0), always(0)])
+        assert history == [(0, 0)] * 4
+        assert payoffs == (12.0, 12.0)
+
+    def test_discounting(self, pd):
+        game = RepeatedGame(stage=pd, rounds=3, delta=0.5)
+        _, payoffs = play(game, [always(0), always(0)])
+        assert payoffs[0] == pytest.approx(3 * (1 + 0.5 + 0.25))
+
+    def test_grim_trigger_punishes(self, pd):
+        game = RepeatedGame(stage=pd, rounds=4)
+        history, _ = play(game, [grim_trigger(0, 1), always(1)])
+        # Round 1 cooperate, then permanent defection.
+        assert history[0] == (0, 1)
+        assert all(profile == (1, 1) for profile in history[1:])
+
+    def test_tit_for_tat_mirrors(self, pd):
+        game = RepeatedGame(stage=pd, rounds=4)
+        history, _ = play(game, [tit_for_tat(0, 1), always(1)])
+        assert history[0] == (0, 1)
+        assert history[1] == (1, 1)
+
+    def test_validation(self, pd):
+        with pytest.raises(ValueError):
+            RepeatedGame(stage=pd, rounds=0)
+        with pytest.raises(ValueError):
+            RepeatedGame(stage=pd, rounds=2, delta=0.0)
+        game = RepeatedGame(stage=pd, rounds=2)
+        with pytest.raises(ValueError):
+            play(game, [always(0)])
+
+
+class TestUnravelling:
+    def test_grim_trigger_fails_in_finite_pd(self, pd):
+        """Backward induction unravels cooperation: defecting in the last
+        round is a profitable one-shot deviation against grim trigger."""
+        game = RepeatedGame(stage=pd, rounds=5)
+        profile = [grim_trigger(0, 1), grim_trigger(0, 1)]
+        deviation = one_shot_deviation_profitable(game, profile)
+        assert deviation is not None
+        history, player, action = deviation
+        assert action == 1  # the deviation is to defect
+
+    def test_always_defect_is_stable_in_finite_pd(self, pd):
+        game = RepeatedGame(stage=pd, rounds=5)
+        assert one_shot_deviation_profitable(game, [always(1), always(1)]) is None
+
+    def test_forwarding_with_payments_is_stable_cooperatively(self):
+        """The paper's fix: with P_f > costs, the *cooperative* action
+        (forward non-randomly) is per-stage dominant, so playing it every
+        round survives the one-shot deviation test — no repetition
+        argument or trigger threats needed."""
+        contract = Contract.from_tau(75.0, 2.0)
+        stage = build_forwarding_stage_game(
+            StageGameParams(contract=contract, cost=2.0), n_players=2
+        )
+        nonrandom = STAGE_STRATEGIES.index("non-random")
+        game = RepeatedGame(stage=stage, rounds=5)
+        profile = [always(nonrandom), always(nonrandom)]
+        assert one_shot_deviation_profitable(game, profile) is None
+
+    def test_forwarding_without_payments_unravels(self):
+        """Strip the payments (P_f = P_r = 0, positive costs): NULL is the
+        stage equilibrium and cooperative forwarding is deviation-prone."""
+        contract = Contract(forwarding_benefit=0.0, routing_benefit=0.0)
+        stage = build_forwarding_stage_game(
+            StageGameParams(contract=contract, cost=2.0), n_players=2
+        )
+        nonrandom = STAGE_STRATEGIES.index("non-random")
+        game = RepeatedGame(stage=stage, rounds=5)
+        profile = [always(nonrandom), always(nonrandom)]
+        deviation = one_shot_deviation_profitable(game, profile)
+        assert deviation is not None
+        _h, _p, action = deviation
+        assert STAGE_STRATEGIES[action] == "null"

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (fresh interpreter, like a
+user would run it) with a generous timeout; we assert a zero exit code
+and that the script produced its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "quickstart",
+    "payment_lifecycle.py": "books balance",
+    "equilibrium_analysis.py": "SPNE",
+    "recurring_connections_attack.py": "intersection attack",
+    "availability_attack.py": "Availability attack",
+    "defense_evaluation.py": "Defence evaluation",
+    "contract_planning.py": "contract planning",
+    "mutual_anonymity.py": "Mutual anonymity",
+}
+
+
+def test_every_example_has_a_marker():
+    """Keep this test in sync with the examples directory."""
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(EXPECTED_MARKERS), (
+        "update EXPECTED_MARKERS when adding/removing examples"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[name].lower() in result.stdout.lower()
+    assert "Traceback" not in result.stderr

@@ -1,0 +1,80 @@
+"""Tests for the bandwidth/transmission-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.network.bandwidth import BandwidthModel
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        rng=np.random.default_rng(0),
+        min_bandwidth=1.0,
+        max_bandwidth=10.0,
+        reference_bandwidth=10.0,
+        unit_cost=1.0,
+    )
+    defaults.update(kwargs)
+    return BandwidthModel(**defaults)
+
+
+def test_bandwidth_symmetric():
+    m = make_model()
+    assert m.bandwidth(3, 7) == m.bandwidth(7, 3)
+
+
+def test_bandwidth_cached_and_in_range():
+    m = make_model()
+    first = m.bandwidth(1, 2)
+    assert first == m.bandwidth(1, 2)
+    assert 1.0 <= first <= 10.0
+
+
+def test_no_self_links():
+    with pytest.raises(ValueError):
+        make_model().bandwidth(4, 4)
+
+
+def test_cost_inversely_proportional_to_bandwidth():
+    m = make_model()
+    # Find two links with different bandwidths and compare.
+    bw_a, bw_b = m.bandwidth(0, 1), m.bandwidth(2, 3)
+    cost_a, cost_b = m.per_unit_cost(0, 1), m.per_unit_cost(2, 3)
+    assert cost_a * bw_a == pytest.approx(cost_b * bw_b)
+
+
+def test_reference_link_costs_unit():
+    m = make_model(min_bandwidth=10.0, max_bandwidth=10.0)
+    assert m.per_unit_cost(0, 1) == pytest.approx(1.0)
+
+
+def test_transmission_cost_scales_with_payload():
+    m = make_model()
+    assert m.transmission_cost(0, 1, 4.0) == pytest.approx(
+        4.0 * m.per_unit_cost(0, 1)
+    )
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        make_model().transmission_cost(0, 1, -1.0)
+
+
+def test_transfer_time():
+    m = make_model()
+    assert m.transfer_time(0, 1, 5.0) == pytest.approx(5.0 / m.bandwidth(0, 1))
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(ValueError):
+        make_model(min_bandwidth=0.0)
+    with pytest.raises(ValueError):
+        make_model(min_bandwidth=5.0, max_bandwidth=2.0)
+    with pytest.raises(ValueError):
+        make_model(unit_cost=-1.0)
+
+
+def test_deterministic_per_seed():
+    a = make_model(rng=np.random.default_rng(9)).bandwidth(1, 2)
+    b = make_model(rng=np.random.default_rng(9)).bandwidth(1, 2)
+    assert a == b

@@ -1,0 +1,160 @@
+"""Tests for the churn processes."""
+
+import numpy as np
+import pytest
+
+from repro.network.churn import ChurnModel, churn_process, node_lifecycle, start_population_churn
+from repro.network.node import NodeState
+from repro.network.overlay import Overlay
+from repro.sim.distributions import Exponential, Pareto
+from repro.sim.engine import Environment
+
+
+def make_world(seed=0, n=10, degree=3):
+    env = Environment()
+    ov = Overlay(rng=np.random.default_rng(seed), degree=degree)
+    ov.bootstrap(n)
+    return env, ov
+
+
+def fast_model(depart_prob=0.0, arrival_rate=0.0):
+    """Short sessions/offtimes so tests run quickly in sim time."""
+    return ChurnModel(
+        session=Pareto.with_median(10.0, shape=2.0),
+        offtime=Exponential(mean=5.0),
+        depart_prob=depart_prob,
+        arrival_rate=arrival_rate,
+    )
+
+
+def test_lifecycle_alternates_online_offline():
+    env, ov = make_world()
+    rng = np.random.default_rng(1)
+    env.process(node_lifecycle(env, ov, 0, fast_model(), rng))
+    env.run(until=500.0)
+    node = ov.nodes[0]
+    # Multiple sessions happened and both on/off periods accumulated.
+    joins = sum(
+        1 for e in ov.trace.events if e.node_id == 0 and e.kind.value == "join"
+    )
+    assert joins >= 3
+    assert node.total_session_time > 0
+
+
+def test_lifecycle_requires_online_node():
+    env, ov = make_world()
+    ov.leave(0, 0.0)
+    rng = np.random.default_rng(1)
+    with pytest.raises(ValueError):
+        # Generator raises at first step.
+        gen = node_lifecycle(env, ov, 0, fast_model(), rng)
+        next(gen)
+
+
+def test_departure_is_permanent():
+    env, ov = make_world()
+    rng = np.random.default_rng(2)
+    env.process(node_lifecycle(env, ov, 0, fast_model(depart_prob=1.0), rng))
+    env.run(until=1000.0)
+    assert ov.nodes[0].state is NodeState.DEPARTED
+    # Exactly one session: departed at the end of the first one.
+    joins = [e for e in ov.trace.events if e.node_id == 0 and e.kind.value == "join"]
+    assert len(joins) == 1
+
+
+def test_population_churn_attaches_all():
+    env, ov = make_world(n=8)
+    rng = np.random.default_rng(3)
+    started = start_population_churn(env, ov, fast_model(), rng)
+    assert started == 8
+    env.run(until=200.0)
+    # With median-10 sessions over 200 minutes, everyone churned.
+    leaves = sum(1 for e in ov.trace.events if e.kind.value == "leave")
+    assert leaves >= 8
+
+
+def test_arrival_process_grows_population():
+    env, ov = make_world(n=5)
+    rng = np.random.default_rng(4)
+    env.process(churn_process(env, ov, fast_model(arrival_rate=0.1), rng))
+    env.run(until=300.0)
+    assert len(ov) > 5
+
+
+def test_arrival_rate_zero_is_noop():
+    env, ov = make_world(n=5)
+    rng = np.random.default_rng(5)
+    env.process(churn_process(env, ov, fast_model(arrival_rate=0.0), rng))
+    env.run(until=100.0)
+    assert len(ov) == 5
+
+
+def test_arrivals_can_be_malicious():
+    env, ov = make_world(n=5)
+    rng = np.random.default_rng(6)
+    model = ChurnModel(
+        session=Pareto.with_median(10.0),
+        offtime=Exponential(mean=5.0),
+        depart_prob=0.0,
+        arrival_rate=0.2,
+        arrival_malicious_prob=1.0,
+    )
+    env.process(churn_process(env, ov, model, rng))
+    env.run(until=100.0)
+    newcomers = [n for n in ov.nodes.values() if n.node_id >= 5]
+    assert newcomers and all(n.malicious for n in newcomers)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        ChurnModel(depart_prob=1.5)
+    with pytest.raises(ValueError):
+        ChurnModel(arrival_rate=-1.0)
+    with pytest.raises(ValueError):
+        ChurnModel(arrival_malicious_prob=2.0)
+
+
+def test_availability_ratio_reflects_offtime():
+    """Long off-times should reduce true availability below 1."""
+    env, ov = make_world()
+    rng = np.random.default_rng(7)
+    model = ChurnModel(
+        session=Pareto.with_median(10.0, shape=3.0),
+        offtime=Exponential(mean=30.0),
+        depart_prob=0.0,
+    )
+    env.process(node_lifecycle(env, ov, 0, model, rng))
+    env.run(until=2000.0)
+    a = ov.nodes[0].true_availability(env.now)
+    assert 0.05 < a < 0.9
+
+
+def test_session_scale_extends_sessions():
+    """Incentive coupling hook: scaled sessions are measurably longer."""
+    def run(scale_value):
+        env, ov = make_world()
+        rng = np.random.default_rng(11)
+        model = ChurnModel(
+            session=Pareto.with_median(10.0, shape=3.0),
+            offtime=Exponential(mean=5.0),
+            depart_prob=0.0,
+        )
+        env.process(
+            node_lifecycle(env, ov, 0, model, rng, session_scale=lambda nid: scale_value)
+        )
+        env.run(until=2000.0)
+        return ov.nodes[0].true_availability(env.now)
+
+    assert run(4.0) > run(1.0)
+
+
+def test_session_scale_validation():
+    env, ov = make_world()
+    rng = np.random.default_rng(12)
+    proc = env.process(
+        node_lifecycle(
+            env, ov, 0, ChurnModel(), rng, session_scale=lambda nid: 0.0
+        )
+    )
+    with pytest.raises(ValueError):
+        env.run()

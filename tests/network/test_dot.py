@@ -1,0 +1,62 @@
+"""Tests for DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.core.path import Path
+from repro.network.dot import overlay_to_dot, paths_to_dot
+from repro.network.overlay import Overlay
+
+
+@pytest.fixture
+def overlay():
+    ov = Overlay(rng=np.random.default_rng(0), degree=3)
+    ov.bootstrap(8, malicious_fraction=0.25)
+    return ov
+
+
+def make_path(forwarders, rnd=1):
+    return Path(cid=1, round_index=rnd, initiator=0, responder=7,
+                forwarders=tuple(forwarders))
+
+
+def test_overlay_dot_structure(overlay):
+    dot = overlay_to_dot(overlay)
+    assert dot.startswith("digraph overlay {")
+    assert dot.endswith("}")
+    for node_id in overlay.nodes:
+        assert f"n{node_id}" in dot
+
+
+def test_malicious_nodes_styled(overlay):
+    dot = overlay_to_dot(overlay)
+    assert dot.count("color=red") == len(overlay.malicious_nodes())
+
+
+def test_offline_nodes_hidden_by_default(overlay):
+    overlay.leave(3, 1.0)
+    dot = overlay_to_dot(overlay)
+    assert "n3 ->" not in dot and "-> n3" not in dot
+    dot_all = overlay_to_dot(overlay, include_offline=True)
+    assert "style=dashed" in dot_all
+
+
+def test_path_highlighted(overlay):
+    path = make_path([2, 4])
+    dot = overlay_to_dot(overlay, path=path)
+    assert 'label="I"' in dot and 'label="R"' in dot
+    # Three path edges with hop numbers 1..3.
+    for hop in (1, 2, 3):
+        assert f'label="{hop}"' in dot
+    assert dot.count("penwidth=2.5") == 3
+
+
+def test_paths_to_dot_counts_reuse():
+    dot = paths_to_dot([make_path([2, 4], rnd=1), make_path([2, 4], rnd=2)])
+    assert 'label="2"' in dot  # each edge reused twice
+    assert 'label="I"' in dot
+
+
+def test_paths_to_dot_empty_rejected():
+    with pytest.raises(ValueError):
+        paths_to_dot([])

@@ -1,0 +1,75 @@
+"""Edge cases for the bank: refund residues, tiny escrows, empty ops."""
+
+import numpy as np
+import pytest
+
+from repro.payment.bank import Bank, DepositError
+
+
+@pytest.fixture
+def bank():
+    b = Bank(rng=np.random.default_rng(42), denominations=(4, 8, 16), key_bits=128)
+    b.open_account(1, endowment=1000.0)
+    b.open_account(2)
+    return b
+
+
+def test_refund_below_smallest_denomination_stays_in_float(bank):
+    tokens = bank.withdraw(1, 8.0)
+    bank.fund_escrow(1, tokens)
+    bank.pay_from_escrow(1, 2, 6.0)  # remainder 2.0 < smallest denom 4
+    refund = bank.refund_escrow(1)
+    assert refund == []
+    # Residue is retained, not lost: the audit still balances.
+    assert bank.audit()
+
+
+def test_refund_with_unrepresentable_residue(bank):
+    """Remaining 10.0 with denominations {4,8,16}: ceil-decompose of 10
+    overshoots to 12, the loop drops to an affordable 8; 2.0 remains."""
+    tokens = bank.withdraw(1, 16.0)
+    bank.fund_escrow(2, tokens)
+    bank.pay_from_escrow(2, 2, 6.0)  # 10.0 left
+    refund = bank.refund_escrow(2)
+    assert sum(t.denomination for t in refund) == pytest.approx(8.0)
+    assert bank.escrow_balance(2) == pytest.approx(2.0)
+    assert bank.audit()
+
+
+def test_refund_unknown_escrow_is_empty(bank):
+    assert bank.refund_escrow(999) == []
+
+
+def test_zero_withdrawal_yields_no_tokens(bank):
+    before = bank.balance(1)
+    assert bank.withdraw(1, 0.0) == []
+    assert bank.balance(1) == before
+
+
+def test_empty_deposit_is_zero(bank):
+    assert bank.deposit_to_account(2, []) == 0.0
+
+
+def test_pay_from_unknown_escrow_rejected(bank):
+    with pytest.raises(DepositError):
+        bank.pay_from_escrow(12345, 2, 1.0)
+
+
+def test_negative_escrow_payment_rejected(bank):
+    tokens = bank.withdraw(1, 4.0)
+    bank.fund_escrow(3, tokens)
+    with pytest.raises(ValueError):
+        bank.pay_from_escrow(3, 2, -1.0)
+
+
+def test_withdrawal_rounds_up_to_representable(bank):
+    tokens = bank.withdraw(1, 5.5)  # smallest cover with {4,8,16} is 8
+    assert sum(t.denomination for t in tokens) == 8.0
+
+
+def test_circulating_bound_never_negative(bank):
+    tokens = bank.withdraw(1, 12.0)
+    bank.fund_escrow(4, tokens)
+    assert bank.circulating_value_bound() >= -1e-9
+    bank.pay_from_escrow(4, 2, 12.0)
+    assert bank.audit()

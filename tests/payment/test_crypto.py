@@ -1,0 +1,117 @@
+"""Tests for Miller-Rabin, RSA and blind signatures."""
+
+import numpy as np
+import pytest
+
+from repro.payment.crypto import (
+    BlindSignatureScheme,
+    RSAKeyPair,
+    generate_prime,
+    is_probable_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return RSAKeyPair.generate(np.random.default_rng(0), bits=128)
+
+
+@pytest.fixture(scope="module")
+def scheme(keys):
+    return BlindSignatureScheme(keys)
+
+
+class TestPrimality:
+    def test_small_primes_detected(self):
+        for p in (2, 3, 5, 7, 97, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 9, 91, 7917, 561, 1105):  # incl. Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1, np.random.default_rng(0))
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1))
+
+    def test_generate_prime_has_exact_bits(self):
+        rng = np.random.default_rng(1)
+        for bits in (16, 64, 128):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p, rng)
+
+    def test_generate_prime_min_bits(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, np.random.default_rng(0))
+
+
+class TestRSA:
+    def test_sign_verify_roundtrip(self, keys):
+        msg = 123456789 % keys.n
+        assert keys.verify_raw(msg, keys.sign_raw(msg))
+
+    def test_wrong_signature_rejected(self, keys):
+        msg = 42
+        assert not keys.verify_raw(msg, keys.sign_raw(msg) + 1)
+
+    def test_out_of_range_rejected(self, keys):
+        with pytest.raises(ValueError):
+            keys.sign_raw(keys.n)
+
+    def test_keygen_deterministic_per_seed(self):
+        a = RSAKeyPair.generate(np.random.default_rng(5), bits=128)
+        b = RSAKeyPair.generate(np.random.default_rng(5), bits=128)
+        assert (a.n, a.d) == (b.n, b.d)
+
+    def test_min_bits_enforced(self):
+        with pytest.raises(ValueError):
+            RSAKeyPair.generate(np.random.default_rng(0), bits=32)
+
+
+class TestBlindSignature:
+    def test_full_protocol_roundtrip(self, scheme):
+        rng = np.random.default_rng(2)
+        serial = b"token-serial-001"
+        r = scheme.random_blinding_factor(rng)
+        blinded = scheme.blind(serial, r)
+        blind_sig = scheme.sign_blinded(blinded)
+        sig = scheme.unblind(blind_sig, r)
+        assert scheme.verify(serial, sig)
+
+    def test_bank_never_sees_serial_hash(self, scheme):
+        """The blinded value differs from the bare hash (unlinkability)."""
+        rng = np.random.default_rng(3)
+        serial = b"token-serial-002"
+        r = scheme.random_blinding_factor(rng)
+        assert scheme.blind(serial, r) != scheme.hash_serial(serial)
+
+    def test_different_blinding_factors_give_different_blinds(self, scheme):
+        rng = np.random.default_rng(4)
+        serial = b"token-serial-003"
+        r1 = scheme.random_blinding_factor(rng)
+        r2 = scheme.random_blinding_factor(rng)
+        assert r1 != r2
+        assert scheme.blind(serial, r1) != scheme.blind(serial, r2)
+        # ... but both unblind to the SAME signature.
+        s1 = scheme.unblind(scheme.sign_blinded(scheme.blind(serial, r1)), r1)
+        s2 = scheme.unblind(scheme.sign_blinded(scheme.blind(serial, r2)), r2)
+        assert s1 == s2
+
+    def test_wrong_serial_fails_verification(self, scheme):
+        rng = np.random.default_rng(5)
+        r = scheme.random_blinding_factor(rng)
+        sig = scheme.unblind(scheme.sign_blinded(scheme.blind(b"real", r)), r)
+        assert not scheme.verify(b"fake", sig)
+
+    def test_signature_not_transferable_across_keys(self, scheme):
+        other = BlindSignatureScheme(
+            RSAKeyPair.generate(np.random.default_rng(9), bits=128)
+        )
+        rng = np.random.default_rng(6)
+        r = scheme.random_blinding_factor(rng)
+        sig = scheme.unblind(scheme.sign_blinded(scheme.blind(b"x", r)), r)
+        assert not other.verify(b"x", sig)

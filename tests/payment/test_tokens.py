@@ -1,0 +1,61 @@
+"""Tests for token structures and the withdrawal protocol state."""
+
+import numpy as np
+import pytest
+
+from repro.payment.crypto import BlindSignatureScheme, RSAKeyPair
+from repro.payment.tokens import (
+    Token,
+    TokenError,
+    WithdrawalRequest,
+    forge_token,
+    fresh_serial,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return BlindSignatureScheme(RSAKeyPair.generate(np.random.default_rng(0), bits=128))
+
+
+def test_token_validation():
+    with pytest.raises(ValueError):
+        Token(serial=b"x", denomination=0.0, signature=1)
+    with pytest.raises(ValueError):
+        Token(serial=b"", denomination=1.0, signature=1)
+
+
+def test_fresh_serial_seeded_reproducible():
+    a = fresh_serial(np.random.default_rng(1))
+    b = fresh_serial(np.random.default_rng(1))
+    assert a == b and len(a) == 16
+
+
+def test_fresh_serial_unseeded_random():
+    assert fresh_serial() != fresh_serial()
+
+
+def test_withdrawal_roundtrip(scheme):
+    rng = np.random.default_rng(2)
+    req = WithdrawalRequest.create(scheme, denomination=8.0, rng=rng)
+    blind_sig = scheme.sign_blinded(req.blinded)
+    token = req.finish(scheme, blind_sig)
+    assert token.denomination == 8.0
+    assert scheme.verify(token.serial, token.signature)
+
+
+def test_withdrawal_detects_bad_bank_signature(scheme):
+    rng = np.random.default_rng(3)
+    req = WithdrawalRequest.create(scheme, denomination=8.0, rng=rng)
+    with pytest.raises(TokenError):
+        req.finish(scheme, blind_signature=12345)
+
+
+def test_forged_token_fails_verification(scheme):
+    bogus = forge_token(4.0, np.random.default_rng(4))
+    assert not scheme.verify(bogus.serial, bogus.signature)
+
+
+def test_token_key_is_serial():
+    t = Token(serial=b"abc", denomination=1.0, signature=1)
+    assert t.key() == b"abc"

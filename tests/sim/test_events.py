@@ -1,0 +1,115 @@
+"""Tests for event primitives: Event, Timeout, AllOf, AnyOf."""
+
+import pytest
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+def test_event_lifecycle(env):
+    ev = env.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(42)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 42
+    env.run()
+    assert ev.processed
+
+
+def test_event_cannot_trigger_twice(env):
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_value_before_trigger_raises(env):
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception(env):
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_propagates_into_process(env):
+    ev = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    ev.fail(ValueError("expected"))
+    env.run()
+    assert caught == ["expected"]
+
+
+def test_timeout_carries_value(env):
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    assert env.run(until=env.process(proc(env))) == "payload"
+
+
+def test_all_of_waits_for_all(env):
+    def proc(env):
+        result = yield env.all_of([env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+        return sorted(result.values())
+
+    assert env.run(until=env.process(proc(env))) == ["a", "b"]
+    assert env.now == 3.0
+
+
+def test_any_of_fires_on_first(env):
+    def proc(env):
+        result = yield env.any_of([env.timeout(1.0, "fast"), env.timeout(9.0, "slow")])
+        return list(result.values())
+
+    assert env.run(until=env.process(proc(env))) == ["fast"]
+    assert env.now == 1.0
+
+
+def test_all_of_empty_succeeds_immediately(env):
+    cond = env.all_of([])
+    assert cond.triggered
+
+
+def test_all_of_fails_if_member_fails(env):
+    ev = env.event()
+
+    def proc(env):
+        try:
+            yield env.all_of([env.timeout(5.0), ev])
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(proc(env))
+    ev.fail(RuntimeError("member failed"))
+    assert env.run(until=p) == "member failed"
+
+
+def test_condition_rejects_foreign_events(env):
+    from repro.sim.engine import Environment
+
+    other = Environment()
+    with pytest.raises(ValueError):
+        env.all_of([other.timeout(1.0)])
+
+
+def test_trigger_mirrors_outcome(env):
+    src = env.event()
+    dst = env.event()
+    src.succeed("x")
+    dst.trigger(src)
+    assert dst.value == "x"

@@ -1,0 +1,138 @@
+"""Tests for online statistics and time-series monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.sim.monitoring import Histogram, RunningStats, TimeSeries, ascii_bars
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 2.0, size=1000)
+        s = RunningStats()
+        s.extend(data)
+        assert s.count == 1000
+        assert s.mean == pytest.approx(float(data.mean()))
+        assert s.variance == pytest.approx(float(data.var(ddof=1)))
+        assert s.min == float(data.min())
+        assert s.max == float(data.max())
+
+    def test_single_sample(self):
+        s = RunningStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+
+    def test_empty_raises(self):
+        s = RunningStats()
+        for prop in ("mean", "variance", "min", "max"):
+            with pytest.raises(ValueError):
+                getattr(s, prop)
+
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(1)
+        a_data, b_data = rng.random(100), rng.random(57) * 10
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        a.extend(a_data)
+        b.extend(b_data)
+        combined.extend(np.concatenate([a_data, b_data]))
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add(1.0)
+        a.merge(RunningStats())
+        assert a.count == 1
+        b = RunningStats()
+        b.merge(a)
+        assert b.mean == 1.0
+
+
+class TestTimeSeries:
+    def test_at_returns_step_value(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)
+        ts.record(5.0, 20.0)
+        assert ts.at(0.0) == 10.0
+        assert ts.at(4.999) == 10.0
+        assert ts.at(5.0) == 20.0
+        assert ts.at(100.0) == 20.0
+
+    def test_at_before_first_raises(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.at(4.0)
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)   # holds 5 units
+        ts.record(5.0, 20.0)   # holds 5 units
+        assert ts.time_weighted_mean(until=10.0) == pytest.approx(15.0)
+
+    def test_time_weighted_mean_ignores_future(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)
+        ts.record(8.0, 1000.0)
+        assert ts.time_weighted_mean(until=8.0) == pytest.approx(10.0)
+
+    def test_backwards_time_rejected(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().time_weighted_mean()
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(0.0, 10.0, bins=5)
+        h.extend([0.0, 1.9, 2.0, 9.99])
+        assert h.counts == [2, 1, 0, 0, 1]
+
+    def test_under_overflow(self):
+        h = Histogram(0.0, 10.0, bins=2)
+        h.extend([-1.0, 10.0, 5.0])
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.total == 3
+
+    def test_normalized(self):
+        h = Histogram(0.0, 4.0, bins=2)
+        h.extend([1.0, 1.0, 3.0, 3.0])
+        assert h.normalized() == [0.5, 0.5]
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 4.0, bins=2)
+        assert h.bin_edges() == [(0.0, 2.0), (2.0, 4.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, bins=2)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=2).normalized()
+
+
+class TestAsciiBars:
+    def test_renders_scaled_bars(self):
+        out = ascii_bars(["a", "bb"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "bb" in lines[1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert ascii_bars([], []) == ""

@@ -1,0 +1,145 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.events import Interrupt
+
+
+def test_process_return_value(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        return 99
+
+    assert env.run(until=env.process(proc(env))) == 99
+
+
+def test_process_is_alive_until_done(env):
+    def proc(env):
+        yield env.timeout(5.0)
+
+    p = env.process(proc(env))
+    env.run(until=2.0)
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_waits_on_process(env):
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return f"got:{value}"
+
+    assert env.run(until=env.process(parent(env))) == "got:child-result"
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "caught"
+
+    assert env.run(until=env.process(parent(env))) == "caught"
+
+
+def test_uncaught_process_exception_surfaces(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_delivers_cause(env):
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            causes.append((i.cause, env.now))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(1.0)
+        victim_proc.interrupt(cause="stop it")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    # Delivered at the attacker's time, not the timeout's.
+    assert causes == [("stop it", 1.0)]
+
+
+def test_interrupt_dead_process_raises(env):
+    def proc(env):
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue(env):
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5.0)
+        log.append(("done", env.now))
+
+    def attacker(env, v):
+        yield env.timeout(2.0)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [("interrupted", 2.0), ("done", 7.0)]
+
+
+def test_yield_non_event_fails_process(env):
+    def proc(env):
+        yield 42  # not an Event
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_non_generator_rejected(env):
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_immediate_return_process(env):
+    def proc(env):
+        return "instant"
+        yield  # pragma: no cover
+
+    assert env.run(until=env.process(proc(env))) == "instant"
+
+
+def test_yield_already_processed_event(env):
+    """Waiting on a processed event resumes without deadlock."""
+
+    def proc(env):
+        t = env.timeout(1.0, value="v")
+        yield env.timeout(3.0)  # t processes meanwhile
+        got = yield t
+        return got
+
+    assert env.run(until=env.process(proc(env))) == "v"

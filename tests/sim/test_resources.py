@@ -1,0 +1,150 @@
+"""Tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.sim.resources import Container, Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self, env):
+        r = Resource(env, capacity=2)
+        a, b = r.request(), r.request()
+        assert a.triggered and b.triggered
+        c = r.request()
+        assert not c.triggered
+        assert r.count == 2 and r.queue_length == 1
+
+    def test_release_hands_to_next_in_fifo_order(self, env):
+        r = Resource(env, capacity=1)
+        a = r.request()
+        b = r.request()
+        c = r.request()
+        r.release(a)
+        assert b.triggered and not c.triggered
+        r.release(b)
+        assert c.triggered
+
+    def test_release_unheld_rejected(self, env):
+        r = Resource(env, capacity=1)
+        a = r.request()
+        b = r.request()  # queued, not granted
+        with pytest.raises(RuntimeError):
+            r.release(b)
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_processes_serialise_on_resource(self, env):
+        r = Resource(env, capacity=1)
+        log = []
+
+        def worker(env, name, hold):
+            req = r.request()
+            yield req
+            log.append((env.now, name, "in"))
+            yield env.timeout(hold)
+            r.release(req)
+            log.append((env.now, name, "out"))
+
+        env.process(worker(env, "a", 5.0))
+        env.process(worker(env, "b", 3.0))
+        env.run()
+        assert log == [
+            (0.0, "a", "in"),
+            (5.0, "a", "out"),
+            (5.0, "b", "in"),
+            (8.0, "b", "out"),
+        ]
+
+
+class TestContainer:
+    def test_put_get_levels(self, env):
+        c = Container(env, capacity=10.0, init=2.0)
+        c.put(3.0)
+        assert c.level == 5.0
+        c.get(4.0)
+        assert c.level == 1.0
+
+    def test_get_blocks_until_put(self, env):
+        c = Container(env, capacity=10.0)
+        got = []
+
+        def consumer(env):
+            yield c.get(5.0)
+            got.append(env.now)
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield c.put(5.0)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [4.0]
+
+    def test_put_blocks_at_capacity(self, env):
+        c = Container(env, capacity=5.0, init=5.0)
+        ev = c.put(1.0)
+        assert not ev.triggered
+        c.get(2.0)
+        assert ev.triggered
+        assert c.level == pytest.approx(4.0)
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0.0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5.0, init=6.0)
+        c = Container(env, capacity=5.0)
+        with pytest.raises(ValueError):
+            c.put(-1.0)
+        with pytest.raises(ValueError):
+            c.get(0.0)
+        with pytest.raises(ValueError):
+            c.put(6.0)
+
+
+class TestStore:
+    def test_fifo_order(self, env):
+        s = Store(env)
+        s.put("a")
+        s.put("b")
+        g1, g2 = s.get(), s.get()
+        assert g1.value == "a" and g2.value == "b"
+
+    def test_get_blocks_until_item(self, env):
+        s = Store(env)
+        received = []
+
+        def consumer(env):
+            item = yield s.get()
+            received.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(3.0)
+            yield s.put("msg")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert received == [(3.0, "msg")]
+
+    def test_bounded_store_blocks_put(self, env):
+        s = Store(env, capacity=1)
+        s.put("x")
+        blocked = s.put("y")
+        assert not blocked.triggered
+        assert s.get().value == "x"
+        assert blocked.triggered
+        assert s.items == ["y"]
+
+    def test_len(self, env):
+        s = Store(env)
+        s.put(1)
+        s.put(2)
+        assert len(s) == 2
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
