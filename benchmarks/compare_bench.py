@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON report against a stored baseline and
+fail on regressions.
+
+Usage::
+
+    REPRO_BENCH_JSON=BENCH_routing.json \
+        python -m pytest benchmarks/test_perf_routing_hotpath.py benchmarks/test_perf_scenario.py
+    python benchmarks/compare_bench.py BENCH_routing.json \
+        --baseline benchmarks/BENCH_routing.baseline.json --threshold 0.20
+
+Exit status 1 if any benchmark shared with the baseline is more than
+``threshold`` slower (by mean time).  Benchmarks present on only one side
+are reported but never fail the gate (machines differ; the baseline is
+refreshed whenever the hot path intentionally changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict:
+    """benchmark fullname -> mean seconds."""
+    data = json.loads(path.read_text())
+    return {b["fullname"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    regressions = []
+    width = max((len(n) for n in current), default=0)
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW      {name.ljust(width)}  {mean * 1e3:9.3f} ms (no baseline)")
+            continue
+        ratio = mean / base if base > 0 else float("inf")
+        status = "OK"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSED"
+            regressions.append((name, base, mean, ratio))
+        print(
+            f"{status:<8} {name.ljust(width)}  {base * 1e3:9.3f} -> "
+            f"{mean * 1e3:9.3f} ms  ({ratio:5.2f}x)"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"MISSING  {name} (in baseline, not in report)")
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%} vs. baseline:",
+            file=sys.stderr,
+        )
+        for name, base, mean, ratio in regressions:
+            print(
+                f"  {name}: {base * 1e3:.3f} ms -> {mean * 1e3:.3f} ms "
+                f"({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nAll shared benchmarks within threshold.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_routing.baseline.json",
+        help="stored baseline JSON (default: benchmarks/BENCH_routing.baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed slowdown fraction before failing (default 0.20 = +20%%)",
+    )
+    args = parser.parse_args(argv)
+    if not args.report.exists():
+        print(f"report not found: {args.report}", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline}", file=sys.stderr)
+        return 2
+    return compare(
+        load_means(args.report), load_means(args.baseline), args.threshold
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

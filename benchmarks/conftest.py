@@ -9,6 +9,18 @@ authors' (unreleased) one.
 Scale is controlled by the ``REPRO_PRESET`` environment variable:
 ``quick`` (default; ~10x smaller workload, same shapes) or ``paper``
 (N=40, 100 pairs, 2000 transmissions as in §3).
+
+Two more knobs:
+
+- ``REPRO_JOBS`` — process-pool width for the multi-seed sweeps.  It is
+  read by :func:`repro.experiments.runner.default_n_jobs`, so every
+  ``run_replicates`` / ``sweep`` call in the suite fans out over a
+  process pool without per-benchmark plumbing (replicate results are
+  bit-identical to the serial ones).
+- ``REPRO_BENCH_JSON`` — when set (e.g. to ``BENCH_routing.json``), the
+  pytest-benchmark machine-readable report is written there, for
+  ``benchmarks/compare_bench.py`` to gate regressions against a stored
+  baseline.
 """
 
 import os
@@ -27,6 +39,21 @@ def n_seeds() -> int:
     return int(os.environ.get("REPRO_SEEDS", "3" if preset() == "quick" else "2"))
 
 
+def n_jobs() -> int:
+    from repro.experiments.runner import default_n_jobs
+
+    return default_n_jobs()
+
+
+def pytest_configure(config):
+    # Route the pytest-benchmark JSON report to REPRO_BENCH_JSON unless
+    # --benchmark-json was given explicitly on the command line.  The
+    # plugin expects an open binary file (argparse FileType), not a path.
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path and not getattr(config.option, "benchmark_json", None):
+        config.option.benchmark_json = open(path, "wb")
+
+
 @pytest.fixture(scope="session")
 def bench_preset():
     return preset()
@@ -35,3 +62,9 @@ def bench_preset():
 @pytest.fixture(scope="session")
 def bench_seeds():
     return n_seeds()
+
+
+@pytest.fixture(scope="session")
+def bench_jobs():
+    """Replicate-sweep parallelism (``REPRO_JOBS``, default 1)."""
+    return n_jobs()

@@ -1,0 +1,125 @@
+"""Microbenchmarks for the edge-scoring hot path.
+
+These isolate the three fast-path layers the scenario throughput
+benchmark exercises end-to-end: indexed selectivity on history-heavy
+profiles, Model I edge scoring, and Model II backward induction with the
+shared SPNE memo (lookahead 2 and 3).  Each timed call builds a *fresh*
+``ForwardingContext``, so the numbers reflect a round's first decision
+(cold per-round caches) rather than repeated cache hits.
+
+Run with ``REPRO_BENCH_JSON=BENCH_routing.json`` to emit the
+machine-readable report that ``benchmarks/compare_bench.py`` gates
+against ``benchmarks/BENCH_routing.baseline.json``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.edge_quality import QualityWeights
+from repro.core.history import HistoryProfile
+from repro.core.routing import ForwardingContext, UtilityModelI, UtilityModelII
+from repro.network.overlay import Overlay
+
+N_NODES = 60
+DEGREE = 6
+HISTORY_ROUNDS = 400  # history-heavy late-round regime
+LATE_ROUND = HISTORY_ROUNDS + 1
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(42)
+    ov = Overlay(rng=rng, degree=DEGREE)
+    ov.bootstrap(N_NODES)
+    histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
+    for node in ov.nodes.values():
+        for view in node.neighbors.values():
+            view.session_time = float(rng.uniform(1.0, 120.0))
+    for nid, h in histories.items():
+        nbrs = ov.nodes[nid].neighbor_ids()
+        for rnd in range(1, HISTORY_ROUNDS + 1):
+            h.record(
+                1,
+                rnd,
+                predecessor=int(rng.choice(list(ov.nodes))),
+                successor=int(rng.choice(nbrs)),
+            )
+    return ov, histories
+
+
+def fresh_context(ov, histories):
+    return ForwardingContext(
+        cid=1,
+        round_index=LATE_ROUND,
+        contract=Contract.from_tau(75.0, 2.0),
+        responder=N_NODES - 1,
+        overlay=ov,
+        cost_model=CostModel(bandwidth=None, flat_unit_cost=1.0),
+        histories=histories,
+        rng=np.random.default_rng(1),
+        weights=QualityWeights(),
+    )
+
+
+def test_perf_selectivity_history_heavy(benchmark, world):
+    """O(log k) indexed selectivity on a profile holding 400 rounds."""
+    ov, histories = world
+    h = histories[0]
+    succs = ov.nodes[0].neighbor_ids()
+
+    def query_block():
+        total = 0.0
+        for succ in succs:
+            for rnd in (LATE_ROUND, LATE_ROUND // 2, 2):
+                total += h.selectivity(1, succ, rnd)
+        return total
+
+    assert benchmark(query_block) > 0.0
+
+
+def test_perf_model1_decision(benchmark, world):
+    ov, histories = world
+    strat = UtilityModelI()
+    node = ov.nodes[0]
+
+    def decide():
+        return strat.select_next_hop(node, None, fresh_context(ov, histories))
+
+    assert benchmark(decide) in node.neighbors
+
+
+@pytest.mark.parametrize("lookahead", [2, 3])
+def test_perf_model2_decision(benchmark, world, lookahead):
+    """Shared-memo backward induction, cold caches each call."""
+    ov, histories = world
+    strat = UtilityModelII(lookahead=lookahead)
+    node = ov.nodes[0]
+
+    def decide():
+        return strat.select_next_hop(node, None, fresh_context(ov, histories))
+
+    assert benchmark(decide) in node.neighbors
+
+
+def test_perf_model2_decision_warm_round(benchmark, world):
+    """All hops of a round share one context: after the first decision the
+    scored-candidate and quality caches serve the rest of the path."""
+    ov, histories = world
+    strat = UtilityModelII(lookahead=2)
+    start = ov.nodes[0]
+
+    def route_three_hops():
+        ctx = fresh_context(ov, histories)
+        node, pred = start, None
+        last = None
+        for _ in range(3):
+            nxt = strat.select_next_hop(node, pred, ctx)
+            if nxt is None:
+                break
+            last = nxt
+            node, pred = ov.nodes[nxt], node.node_id
+        return last
+
+    assert benchmark(route_three_hops) is not None

@@ -4,8 +4,12 @@ Unlike the figure/table regenerators (which use ``pedantic`` single
 runs), this benchmark times a standard scenario properly over several
 rounds, so regressions in the routing hot path (edge scoring, probing,
 heap churn) show up in CI history.  The workload is a mid-size slice of
-the §3 configuration.
+the §3 configuration, timed under each routing strategy — ``utility-II``
+is the one the fast-path caches (indexed selectivity, cached
+availability, shared SPNE memo) accelerate the most.
 """
+
+import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import run_scenario
@@ -19,13 +23,25 @@ CFG = ExperimentConfig(
     use_bank=False,  # time the simulation core, not RSA
 )
 
+STRATEGY_OVERRIDES = {
+    "utility-I": {},
+    "utility-II": {"strategy": "utility-II", "lookahead": 2},
+    "utility-II-L3": {"strategy": "utility-II", "lookahead": 3},
+}
 
-def test_perf_scenario_throughput(benchmark):
-    result = benchmark(run_scenario, CFG)
+
+@pytest.mark.parametrize("variant", sorted(STRATEGY_OVERRIDES))
+def test_perf_scenario_throughput(benchmark, variant):
+    cfg = CFG.with_overrides(**STRATEGY_OVERRIDES[variant])
+    result = benchmark(run_scenario, cfg)
     # Guard against silent workload shrinkage making the timing
     # meaningless: the run must actually have done the work.
     completed = sum(s.rounds_completed for s in result.series_stats)
     assert completed >= 0.9 * CFG.n_pairs * CFG.rounds_per_pair
+    # And the caches must actually be in play.
+    assert result.perf_counters["selectivity_queries"] > 0
+    if variant != "utility-I":
+        assert result.perf_counters["edge_quality_cache_hits"] > 0
 
 
 def test_perf_scenario_with_bank(benchmark):

@@ -12,12 +12,29 @@ keep the predecessor so a node occupying two positions on the same path
 can score the two positions' outgoing edges independently ("by using the
 predecessor information, a node can differentiate between outgoing edges
 for two different positions on the same path").
+
+Selectivity is the innermost call of the routing hot path (every
+candidate edge, every hop, every round), so the profile maintains two
+*sorted round indices* alongside the raw record list:
+
+- ``(cid, successor) -> sorted [round_index, ...]``
+- ``(cid, predecessor, successor) -> sorted [round_index, ...]``
+
+A selectivity query then counts matching entries with a single
+``bisect`` (O(log k)) instead of scanning every stored record
+(O(k)).  The indices are kept exactly consistent with ``_records``
+through :meth:`record`, capacity eviction, and :meth:`forget_series`;
+:meth:`selectivity_naive` retains the original linear scan as the
+executable specification the differential tests check against.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.sim.monitoring import PERF
 
 
 @dataclass(frozen=True)
@@ -47,18 +64,61 @@ class HistoryProfile:
     node_id: int
     capacity: Optional[int] = None
     _records: Dict[int, List[HistoryRecord]] = field(default_factory=dict, repr=False)
+    #: cid -> successor -> sorted round indices (duplicates kept: one entry
+    #: per stored record).
+    _edge_rounds: Dict[int, Dict[int, List[int]]] = field(
+        default_factory=dict, repr=False
+    )
+    #: cid -> (predecessor, successor) -> sorted round indices.
+    _pos_rounds: Dict[int, Dict[Tuple[int, int], List[int]]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self):
         if self.capacity is not None and self.capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {self.capacity}")
+        # A profile constructed with pre-existing records (e.g. by a
+        # deserialiser) must index them before the first query.
+        if self._records and not self._edge_rounds:
+            for bucket in self._records.values():
+                for rec in bucket:
+                    self._index_add(rec)
+
+    # -- index maintenance ------------------------------------------------
+    def _index_add(self, rec: HistoryRecord) -> None:
+        edge = self._edge_rounds.setdefault(rec.cid, {})
+        insort(edge.setdefault(rec.successor, []), rec.round_index)
+        pos = self._pos_rounds.setdefault(rec.cid, {})
+        insort(
+            pos.setdefault((rec.predecessor, rec.successor), []), rec.round_index
+        )
+
+    def _index_remove(self, rec: HistoryRecord) -> None:
+        """Remove one occurrence of ``rec`` from both indices.
+
+        All entries in a round list are equal integers, so removing the
+        element at ``bisect_left`` deletes exactly one matching occurrence.
+        """
+        edge = self._edge_rounds[rec.cid][rec.successor]
+        del edge[bisect_left(edge, rec.round_index)]
+        if not edge:
+            del self._edge_rounds[rec.cid][rec.successor]
+        pos = self._pos_rounds[rec.cid][(rec.predecessor, rec.successor)]
+        del pos[bisect_left(pos, rec.round_index)]
+        if not pos:
+            del self._pos_rounds[rec.cid][(rec.predecessor, rec.successor)]
 
     def record(self, cid: int, round_index: int, predecessor: int, successor: int) -> None:
         """Store the hop taken through this node on round ``round_index``."""
         rec = HistoryRecord(cid, round_index, predecessor, successor)
         bucket = self._records.setdefault(cid, [])
         bucket.append(rec)
+        self._index_add(rec)
         if self.capacity is not None and len(bucket) > self.capacity:
+            evicted = bucket[0 : len(bucket) - self.capacity]
             del bucket[0 : len(bucket) - self.capacity]
+            for old in evicted:
+                self._index_remove(old)
 
     def records_for(self, cid: int) -> List[HistoryRecord]:
         """All stored records for a series (oldest first)."""
@@ -77,6 +137,39 @@ class HistoryProfile:
         ``round_index - 1``.  If ``predecessor`` is given, only entries with
         that predecessor match (position-aware scoring); otherwise all
         entries for the edge count.  Returns 0 on the first round.
+
+        Answered from the sorted round index in O(log k); equivalent to
+        :meth:`selectivity_naive` by construction (the indices mirror
+        ``_records`` exactly).
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        PERF.selectivity_queries += 1
+        max_entries = round_index - 1
+        if max_entries == 0:
+            return 0.0
+        if predecessor is None:
+            rounds = self._edge_rounds.get(cid, {}).get(successor)
+        else:
+            rounds = self._pos_rounds.get(cid, {}).get((predecessor, successor))
+        if not rounds:
+            return 0.0
+        # Entries strictly before the current round (never peek ahead).
+        hits = bisect_left(rounds, round_index)
+        return min(1.0, hits / max_entries)
+
+    def selectivity_naive(
+        self,
+        cid: int,
+        successor: int,
+        round_index: int,
+        predecessor: Optional[int] = None,
+    ) -> float:
+        """Reference implementation: linear scan over the raw records.
+
+        Kept as the executable specification for :meth:`selectivity`; the
+        differential tests assert bit-identical results over randomized
+        workloads (records, eviction, forgetting, position-aware queries).
         """
         if round_index < 1:
             raise ValueError(f"round_index must be >= 1, got {round_index}")
@@ -96,7 +189,7 @@ class HistoryProfile:
 
     def known_successors(self, cid: int) -> List[int]:
         """Distinct successors seen for a series (sorted, deterministic)."""
-        return sorted({r.successor for r in self._records.get(cid, ())})
+        return sorted(self._edge_rounds.get(cid, {}))
 
     def series_count(self) -> int:
         """Number of distinct series this node has forwarded for."""
@@ -108,6 +201,8 @@ class HistoryProfile:
     def forget_series(self, cid: int) -> None:
         """Drop all history for a completed series (storage reclamation)."""
         self._records.pop(cid, None)
+        self._edge_rounds.pop(cid, None)
+        self._pos_rounds.pop(cid, None)
 
     # -- attack surface (§5(3)) -----------------------------------------
     def observed_edges(self) -> List[Tuple[int, int, int]]:

@@ -35,6 +35,7 @@ from repro.core.history import HistoryProfile
 from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay
+from repro.sim.monitoring import PERF
 
 
 @dataclass
@@ -43,6 +44,14 @@ class ForwardingContext:
 
     The context is built once per connection round by the protocol layer
     and threaded through each hop's decision.
+
+    The context also owns the round's **edge-quality cache**: within one
+    round, ``q(s, v)`` is a pure function of the edge (plus the
+    selectivity predecessor when position-aware scoring is on) — history
+    records are only committed after the round's path succeeds, and probe
+    counters only advance between rounds — so every hop and every
+    backward-induction subtree of the round reuses one scored value per
+    edge instead of recomputing it.
     """
 
     cid: int
@@ -59,9 +68,78 @@ class ForwardingContext:
     #: default: under churn the upstream prefix varies between rounds, and
     #: conditioning on it discards most reuse signal.
     position_aware_selectivity: bool = False
+    #: Per-round edge-quality memo keyed ``(node, neighbor, selectivity
+    #: predecessor, round_index)``.  ``round_index`` is in the key so a
+    #: context reused across rounds (tests mutate ``round_index`` in
+    #: place) never serves a stale score.
+    _edge_quality_cache: Dict[
+        Tuple[int, int, Optional[int], int], float
+    ] = field(default_factory=dict, repr=False)
+    #: Per-round scored candidate lists keyed ``(node, predecessor,
+    #: round_index)`` — the (neighbor, quality) pairs every utility
+    #: strategy loops over.  Sound for the same reason as the quality
+    #: cache: candidate sets (liveness) and scores are fixed within a
+    #: round.
+    _scored_candidates_cache: Dict[
+        Tuple[int, Optional[int], int], List[Tuple[int, float]]
+    ] = field(default_factory=dict, repr=False)
 
     def selectivity_predecessor(self, predecessor: Optional[int]) -> Optional[int]:
         return predecessor if self.position_aware_selectivity else None
+
+    def edge_quality_for(
+        self, node: PeerNode, neighbor: int, predecessor: Optional[int]
+    ) -> float:
+        """Cached ``q(node, neighbor)`` for this round (see class docstring).
+
+        Equivalent to calling :func:`repro.core.edge_quality.edge_quality`
+        directly; the availability component reads the node's cached
+        normalisation vector, and the result is memoised for the rest of
+        the round.
+        """
+        sel_pred = self.selectivity_predecessor(predecessor)
+        key = (node.node_id, neighbor, sel_pred, self.round_index)
+        cached = self._edge_quality_cache.get(key)
+        if cached is not None:
+            PERF.edge_quality_cache_hits += 1
+            return cached
+        PERF.edge_quality_cache_misses += 1
+        PERF.edges_scored += 1
+        q = edge_quality(
+            node,
+            neighbor,
+            self.history_of(node.node_id),
+            cid=self.cid,
+            round_index=self.round_index,
+            weights=self.weights,
+            predecessor=sel_pred,
+            responder=self.responder,
+            availability=node.availability_vector().get(neighbor),
+        )
+        self._edge_quality_cache[key] = q
+        return q
+
+    def scored_candidates(
+        self, node: PeerNode, predecessor: Optional[int]
+    ) -> List[Tuple[int, float]]:
+        """``[(neighbor, q(node, neighbor)), ...]`` for this round's
+        candidate set — the inner loop of both utility models.
+
+        Keyed on the *actual* predecessor (it shapes the candidate set via
+        the no-backtracking rule and, under position-aware scoring, the
+        selectivity conditioning).  Callers must not mutate the returned
+        list.
+        """
+        key = (node.node_id, predecessor, self.round_index)
+        hit = self._scored_candidates_cache.get(key)
+        if hit is not None:
+            return hit
+        pairs = [
+            (nbr, self.edge_quality_for(node, nbr, predecessor))
+            for nbr in self.candidates(node, predecessor)
+        ]
+        self._scored_candidates_cache[key] = pairs
+        return pairs
 
     def history_of(self, node_id: int) -> HistoryProfile:
         return self.histories[node_id]
@@ -137,22 +215,8 @@ def _score_edges_model1(
     context: ForwardingContext,
 ) -> List[Tuple[float, float, int]]:
     """(utility, quality, neighbor) triples for every candidate, eq. 1."""
-    history = context.history_of(node.node_id)
     out = []
-    # One availability pass for the whole candidate set (hot path).
-    avail = node.availability_vector()
-    for nbr in context.candidates(node, predecessor):
-        q = edge_quality(
-            node,
-            nbr,
-            history,
-            cid=context.cid,
-            round_index=context.round_index,
-            weights=context.weights,
-            predecessor=context.selectivity_predecessor(predecessor),
-            responder=context.responder,
-            availability=avail.get(nbr),
-        )
+    for nbr, q in context.scored_candidates(node, predecessor):
         cost = context.cost_model.decision_cost(
             node.participation_cost, node.node_id, nbr, context.contract.payload_size
         )
@@ -207,6 +271,17 @@ class UtilityModelII(RoutingStrategy):
     ``lookahead`` edges past ``j``, assuming each downstream node picks its
     own quality-maximising successor (subgame-perfect play).  Mean (not
     sum) keeps the score in [0, 1] so ``P_r`` weighs both models equally.
+
+    **Shared SPNE memo.**  One decision expands overlapping subtrees: the
+    candidates of a node largely share their downstream neighbourhoods.
+    ``select_next_hop`` therefore builds a single memo for the whole
+    candidate set, keyed ``(node, predecessor, depth)``, turning the
+    per-decision cost from O(d * b^L) tree expansions into one memoised
+    pass over the reachable subgraph.  The predecessor is part of the key
+    because it shapes the candidate set (a node avoids routing back to
+    whoever handed it the payload when an alternative exists), which
+    makes the memoised recursion *exactly* equivalent to the pure,
+    memo-free backward induction — the differential tests assert this.
     """
 
     name = "utility-II"
@@ -226,33 +301,28 @@ class UtilityModelII(RoutingStrategy):
         predecessor: Optional[int],
         depth: int,
         context: ForwardingContext,
-        memo: Dict[Tuple[int, int], Tuple[float, int]],
+        memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]],
     ) -> Tuple[float, int]:
         """Best (sum_quality, n_edges) of a path from ``node_id`` to the
         responder using at most ``depth`` edges.  (0.0, 0) if no progress
-        is possible."""
+        is possible.
+
+        ``memo`` is shared across the whole candidate set of one decision;
+        the ``(node_id, predecessor, depth)`` key makes the memoised value
+        independent of expansion order (see the class docstring).
+        """
         if depth == 0:
             return (0.0, 0)
-        key = (node_id, depth)
-        if key in memo:
-            return memo[key]
+        key = (node_id, predecessor, depth)
+        hit = memo.get(key)
+        if hit is not None:
+            PERF.spne_memo_hits += 1
+            return hit
+        PERF.spne_memo_misses += 1
         node = context.overlay.nodes[node_id]
-        history = context.history_of(node_id)
         best_sum, best_n = 0.0, 0
         best_mean = -1.0
-        avail = node.availability_vector()
-        for nbr in context.candidates(node, predecessor):
-            q = edge_quality(
-                node,
-                nbr,
-                history,
-                cid=context.cid,
-                round_index=context.round_index,
-                weights=context.weights,
-                predecessor=context.selectivity_predecessor(predecessor),
-                responder=context.responder,
-                availability=avail.get(nbr),
-            )
+        for nbr, q in context.scored_candidates(node, predecessor):
             tail_sum, tail_n = self._best_downstream(
                 nbr, node_id, depth - 1, context, memo
             )
@@ -269,24 +339,20 @@ class UtilityModelII(RoutingStrategy):
         neighbor: int,
         predecessor: Optional[int],
         context: ForwardingContext,
+        memo: Optional[Dict[Tuple[int, Optional[int], int], Tuple[float, int]]] = None,
     ) -> float:
         """Normalised quality of the best path node -> neighbor -> ... -> R.
 
         The terminal delivery edge into R always has quality 1 (§2.3), so
         it is appended to every candidate's path before normalising.
+
+        ``memo`` lets :meth:`select_next_hop` share one backward-induction
+        table across its whole candidate loop; a standalone call gets a
+        private (equivalent) one.
         """
-        history = context.history_of(node.node_id)
-        q_first = edge_quality(
-            node,
-            neighbor,
-            history,
-            cid=context.cid,
-            round_index=context.round_index,
-            weights=context.weights,
-            predecessor=context.selectivity_predecessor(predecessor),
-            responder=context.responder,
-        )
-        memo: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        q_first = context.edge_quality_for(node, neighbor, predecessor)
+        if memo is None:
+            memo = {}
         tail_sum, tail_n = self._best_downstream(
             neighbor, node.node_id, self.lookahead, context, memo
         )
@@ -298,9 +364,12 @@ class UtilityModelII(RoutingStrategy):
         predecessor: Optional[int],
         context: ForwardingContext,
     ) -> Optional[int]:
+        # One shared SPNE memo for the entire candidate set: overlapping
+        # downstream subtrees are expanded exactly once per decision.
+        memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]] = {}
         scored: List[Tuple[float, float, int]] = []
-        for nbr in context.candidates(node, predecessor):
-            pq = self.path_quality_through(node, nbr, predecessor, context)
+        for nbr, _q in context.scored_candidates(node, predecessor):
+            pq = self.path_quality_through(node, nbr, predecessor, context, memo=memo)
             cost = context.cost_model.decision_cost(
                 node.participation_cost,
                 node.node_id,

@@ -8,8 +8,9 @@ aggregates any per-run metric.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -57,18 +58,43 @@ class SweepResult:
         ]
 
 
+def default_n_jobs() -> int:
+    """Process-pool width for replicate sweeps: the ``REPRO_JOBS``
+    environment variable, defaulting to 1 (serial).
+
+    The benchmark suite plumbs this through ``benchmarks/conftest.py`` so
+    multi-seed sweeps (``REPRO_SEEDS``) can use the existing process-pool
+    path without touching each benchmark.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer >= 1, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {value}")
+    return value
+
+
 def run_replicates(
-    base: ExperimentConfig, n_seeds: int, seed0: int = 0, n_jobs: int = 1
+    base: ExperimentConfig,
+    n_seeds: int,
+    seed0: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> List[ScenarioResult]:
     """Run ``n_seeds`` scenarios differing only in seed.
 
-    ``n_jobs > 1`` fans the replicates out over a process pool.  Because
-    every run is deterministic in its config, the parallel result list is
-    bit-identical to the serial one (asserted by the tests) — replicates
-    share no state, so this is embarrassingly parallel.
+    ``n_jobs > 1`` fans the replicates out over a process pool; ``None``
+    (the default) resolves via :func:`default_n_jobs` (the ``REPRO_JOBS``
+    environment variable).  Because every run is deterministic in its
+    config, the parallel result list is bit-identical to the serial one
+    (asserted by the tests) — replicates share no state, so this is
+    embarrassingly parallel.
     """
     if n_seeds < 1:
         raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    if n_jobs is None:
+        n_jobs = default_n_jobs()
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     configs = [base.with_overrides(seed=seed0 + k) for k in range(n_seeds)]
@@ -88,7 +114,7 @@ def sweep(
     metric_name: str = "metric",
     n_seeds: int = 3,
     seed0: int = 0,
-    n_jobs: int = 1,
+    n_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Vary ``field_name`` over ``values``; aggregate ``metric`` per point."""
     result = SweepResult(field_name=field_name, metric_name=metric_name)

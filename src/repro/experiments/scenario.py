@@ -74,6 +74,11 @@ class ScenarioResult:
     #: Per-round (payload latency, round-trip latency) pairs in simulated
     #: minutes (only populated when ``config.temporal_forwarding``).
     round_latencies: List[Tuple[float, float]] = field(default_factory=list)
+    #: Hot-path profiling counters accumulated during this run (delta of
+    #: :data:`repro.sim.monitoring.PERF` across the run): selectivity
+    #: queries, availability/edge-quality cache hits and misses, edges
+    #: scored, SPNE memo reuse.
+    perf_counters: Dict[str, int] = field(default_factory=dict)
 
     def mean_payload_latency(self) -> float:
         if not self.round_latencies:
@@ -213,11 +218,22 @@ class ScenarioResult:
             f"  sim duration: {self.sim_duration:.0f} min  "
             f"bank audit: {self.bank_audit_ok}",
         ]
+        if self.perf_counters:
+            p = self.perf_counters
+            lines.append(
+                f"  hot path: {p.get('edges_scored', 0)} edges scored, "
+                f"{p.get('selectivity_queries', 0)} selectivity queries, "
+                f"{p.get('edge_quality_cache_hits', 0)} quality-cache hits, "
+                f"{p.get('spne_memo_hits', 0)} SPNE memo hits"
+            )
         return "\n".join(lines)
 
 
 def run_scenario(config: ExperimentConfig) -> ScenarioResult:
     """Run one full simulation described by ``config``."""
+    from repro.sim.monitoring import PERF
+
+    perf_before = PERF.snapshot()
     streams = RandomStreams(config.seed)
     env = Environment()
 
@@ -560,6 +576,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         routes_validated=validation_counts["ok"],
         routes_invalid=validation_counts["bad"],
         round_latencies=round_latencies,
+        perf_counters=PERF.delta_since(perf_before),
     )
 
 

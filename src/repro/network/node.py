@@ -8,13 +8,24 @@ Implements the node-local part of §2.3 ("Availability of neighbors"):
 - a newly discovered neighbour starts at ``rand(0, T)``;
 - availability of neighbour ``u`` is the *normalised* counter
   ``alpha(u) = t_s(u) / sum_v t_s(v)``.
+
+The normalisation is the routing hot path's per-candidate cost: edge
+scoring consults ``alpha`` for every candidate of every hop, and a naive
+implementation re-sums the whole neighbour set each time (O(d) per
+lookup, O(d^2) per decision).  :class:`PeerNode` therefore caches the
+normalised vector and invalidates it with a dirty flag whenever a
+counter or the neighbour set changes; every mutation path — probe
+credits, direct ``session_time`` assignment, neighbour add/remove/reset
+— funnels through the invalidation, so the cache can never go stale.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.sim.monitoring import PERF
 
 
 class NodeState(enum.Enum):
@@ -25,19 +36,58 @@ class NodeState(enum.Enum):
     DEPARTED = "departed"  # left the system for good
 
 
-@dataclass
 class NeighborView:
-    """What a node knows about one neighbour."""
+    """What a node knows about one neighbour.
 
-    node_id: int
-    #: Observed cumulative session time (probing counter), minutes.
-    session_time: float = 0.0
-    #: Simulation time of the last successful probe (None = never probed).
-    last_seen: Optional[float] = None
+    ``session_time`` is a property so that *any* write — including direct
+    assignment from tests or external estimators — notifies the owning
+    :class:`PeerNode` to invalidate its cached availability
+    normalisation.
+    """
 
-    def __post_init__(self):
-        if self.session_time < 0:
-            raise ValueError(f"negative session_time {self.session_time}")
+    __slots__ = ("node_id", "last_seen", "_session_time", "_on_change")
+
+    def __init__(
+        self,
+        node_id: int,
+        session_time: float = 0.0,
+        last_seen: Optional[float] = None,
+    ):
+        self.node_id = node_id
+        #: Simulation time of the last successful probe (None = never probed).
+        self.last_seen = last_seen
+        self._on_change: Optional[Callable[[], None]] = None
+        if session_time < 0:
+            raise ValueError(f"negative session_time {session_time}")
+        self._session_time = session_time
+
+    @property
+    def session_time(self) -> float:
+        """Observed cumulative session time (probing counter), minutes."""
+        return self._session_time
+
+    @session_time.setter
+    def session_time(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative session_time {value}")
+        self._session_time = value
+        if self._on_change is not None:
+            self._on_change()
+
+    def __repr__(self) -> str:
+        return (
+            f"NeighborView(node_id={self.node_id}, "
+            f"session_time={self._session_time}, last_seen={self.last_seen})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NeighborView):
+            return NotImplemented
+        return (
+            self.node_id == other.node_id
+            and self._session_time == other._session_time
+            and self.last_seen == other.last_seen
+        )
 
 
 @dataclass
@@ -63,6 +113,15 @@ class PeerNode:
     final_departure_time: Optional[float] = None
     total_session_time: float = 0.0
     _session_start: Optional[float] = None
+    #: --- availability cache (see module docstring) ---------------------
+    _avail_dirty: bool = field(default=True, repr=False)
+    _avail_vector: Dict[int, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        # Views supplied at construction time must notify this node's
+        # availability cache like internally created ones.
+        for view in self.neighbors.values():
+            self._adopt_view(view)
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -117,6 +176,13 @@ class PeerNode:
         return min(1.0, session / lifetime)
 
     # -- neighbour management ---------------------------------------------
+    def _invalidate_availability(self) -> None:
+        self._avail_dirty = True
+
+    def _adopt_view(self, view: NeighborView) -> NeighborView:
+        view._on_change = self._invalidate_availability
+        return view
+
     def set_neighbors(self, node_ids: Iterable[int]) -> None:
         """Install a fresh neighbour set, all counters reset to 0 (§2.3)."""
         ids = list(node_ids)
@@ -124,7 +190,8 @@ class PeerNode:
             raise ValueError("a node cannot neighbour itself")
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate neighbour ids")
-        self.neighbors = {i: NeighborView(node_id=i) for i in ids}
+        self.neighbors = {i: self._adopt_view(NeighborView(node_id=i)) for i in ids}
+        self._invalidate_availability()
 
     def add_neighbor(self, node_id: int, initial_session_time: float = 0.0) -> None:
         """Discover a new neighbour (counter starts at ``rand(0,T)`` per §2.3)."""
@@ -132,40 +199,79 @@ class PeerNode:
             raise ValueError("a node cannot neighbour itself")
         if node_id in self.neighbors:
             raise ValueError(f"{node_id} already a neighbour of {self.node_id}")
-        self.neighbors[node_id] = NeighborView(
-            node_id=node_id, session_time=initial_session_time
+        self.neighbors[node_id] = self._adopt_view(
+            NeighborView(node_id=node_id, session_time=initial_session_time)
         )
+        self._invalidate_availability()
 
     def remove_neighbor(self, node_id: int) -> None:
         if node_id not in self.neighbors:
             raise KeyError(f"{node_id} is not a neighbour of {self.node_id}")
         del self.neighbors[node_id]
+        self._invalidate_availability()
 
     def neighbor_ids(self) -> List[int]:
         return list(self.neighbors)
 
+    def credit_session_time(
+        self, neighbor_id: int, delta: float, now: Optional[float] = None
+    ) -> None:
+        """Probe bookkeeping: grow a live neighbour's counter by ``delta``
+        (the probing period ``T``) and stamp ``last_seen``.
+
+        The prober's per-period update path; funnels through the
+        ``session_time`` property so the cached availability normalisation
+        is invalidated exactly once per credit.
+        """
+        if delta < 0:
+            raise ValueError(f"negative probe credit {delta}")
+        view = self.neighbors.get(neighbor_id)
+        if view is None:
+            raise KeyError(f"{neighbor_id} is not a neighbour of {self.node_id}")
+        view.session_time += delta
+        if now is not None:
+            view.last_seen = now
+
     # -- availability estimate (§2.3) --------------------------------------
+    def _refresh_availability(self) -> Dict[int, float]:
+        """Rebuild the cached ``id -> alpha`` normalisation (O(d))."""
+        total = 0.0
+        for v in self.neighbors.values():
+            total += v._session_time
+        if total <= 0.0:
+            self._avail_vector = {i: 0.0 for i in self.neighbors}
+        else:
+            self._avail_vector = {
+                i: v._session_time / total for i, v in self.neighbors.items()
+            }
+        self._avail_dirty = False
+        return self._avail_vector
+
     def availability(self, neighbor_id: int) -> float:
         """Estimated availability ``alpha(u)`` of one neighbour.
 
         Normalised observed session time over the whole neighbour set; in
         ``[0, 1]`` and summing to 1 across neighbours (0 everywhere if no
-        probe has completed yet).
+        probe has completed yet).  Served from the cached normalisation
+        (O(1) after the first lookup since the last counter change).
         """
-        view = self.neighbors.get(neighbor_id)
-        if view is None:
+        if neighbor_id not in self.neighbors:
             raise KeyError(f"{neighbor_id} is not a neighbour of {self.node_id}")
-        total = sum(v.session_time for v in self.neighbors.values())
-        if total <= 0.0:
-            return 0.0
-        return view.session_time / total
+        return self.availability_vector()[neighbor_id]
 
     def availability_vector(self) -> Dict[int, float]:
-        """Estimated availability of every neighbour (id -> alpha)."""
-        total = sum(v.session_time for v in self.neighbors.values())
-        if total <= 0.0:
-            return {i: 0.0 for i in self.neighbors}
-        return {i: v.session_time / total for i, v in self.neighbors.items()}
+        """Estimated availability of every neighbour (id -> alpha).
+
+        Returns the cached normalisation, rebuilt lazily after any counter
+        or neighbour-set change.  Callers must treat the mapping as
+        **read-only** — it is shared until the next invalidation (the
+        routing layer only ever does ``.get`` lookups on it).
+        """
+        if self._avail_dirty:
+            PERF.availability_cache_misses += 1
+            return self._refresh_availability()
+        PERF.availability_cache_hits += 1
+        return self._avail_vector
 
     def __repr__(self) -> str:
         flag = "M" if self.malicious else "g"

@@ -54,9 +54,9 @@ def run_probe_round(
     alive = dead = replaced = 0
     for nbr_id in list(node.neighbors):
         if overlay.is_online(nbr_id):
-            view = node.neighbors[nbr_id]
-            view.session_time += period
-            view.last_seen = now
+            # Route the counter update through the node so its cached
+            # availability normalisation is invalidated.
+            node.credit_session_time(nbr_id, period, now=now)
             alive += 1
         else:
             dead += 1

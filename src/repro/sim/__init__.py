@@ -20,7 +20,14 @@ function of the model (ties broken by insertion order).
 
 from repro.sim.engine import Environment, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.sim.monitoring import Histogram, RunningStats, TimeSeries, ascii_bars
+from repro.sim.monitoring import (
+    PERF,
+    Histogram,
+    PerfCounters,
+    RunningStats,
+    TimeSeries,
+    ascii_bars,
+)
 from repro.sim.process import Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RandomStreams
@@ -33,6 +40,8 @@ __all__ = [
     "Environment",
     "Event",
     "Histogram",
+    "PERF",
+    "PerfCounters",
     "Interrupt",
     "Process",
     "RandomStreams",

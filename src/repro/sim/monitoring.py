@@ -7,6 +7,9 @@
   population).
 - :class:`Histogram` — fixed-bin counter for payoff/latency
   distributions.
+- :class:`PerfCounters` / :data:`PERF` — hot-path profiling counters for
+  the routing fast path (selectivity queries, availability/edge-quality
+  cache hits, SPNE memo reuse).
 
 These are substrate utilities: the scenario runner and benchmarks use
 them, and they are exported for downstream models.
@@ -17,7 +20,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 class RunningStats:
@@ -182,6 +185,67 @@ class Histogram:
         if t == 0:
             raise ValueError("empty histogram")
         return [c / t for c in self.counts]
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative hot-path counters for the edge-scoring fast path.
+
+    One process-wide instance (:data:`PERF`) is incremented by the
+    routing/history/availability layers; ``run_scenario`` snapshots the
+    delta per run so every :class:`~repro.experiments.scenario.ScenarioResult`
+    carries its own profile.  The counters are plain attribute increments
+    — cheap enough to stay on unconditionally.
+
+    - ``selectivity_queries`` — indexed ``HistoryProfile.selectivity`` calls;
+    - ``availability_cache_hits`` / ``availability_cache_misses`` — whether
+      ``PeerNode.availability_vector`` was served from the cached
+      normalisation or had to re-sum session times;
+    - ``edge_quality_cache_hits`` / ``edge_quality_cache_misses`` — per-round
+      ``ForwardingContext`` edge-quality cache outcomes;
+    - ``edges_scored`` — edge-quality evaluations actually performed;
+    - ``spne_memo_hits`` / ``spne_memo_misses`` — backward-induction subtree
+      reuse inside ``UtilityModelII`` (one shared memo per decision).
+    """
+
+    selectivity_queries: int = 0
+    availability_cache_hits: int = 0
+    availability_cache_misses: int = 0
+    edge_quality_cache_hits: int = 0
+    edge_quality_cache_misses: int = 0
+    edges_scored: int = 0
+    spne_memo_hits: int = 0
+    spne_memo_misses: int = 0
+
+    _FIELDS = (
+        "selectivity_queries",
+        "availability_cache_hits",
+        "availability_cache_misses",
+        "edge_quality_cache_hits",
+        "edge_quality_cache_misses",
+        "edges_scored",
+        "spne_memo_hits",
+        "spne_memo_misses",
+    )
+
+    def reset(self) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current values as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments relative to an earlier :meth:`snapshot`."""
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in self._FIELDS
+        }
+
+
+#: Process-wide counter instance used by the routing hot path.
+PERF = PerfCounters()
 
 
 def ascii_bars(

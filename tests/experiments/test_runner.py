@@ -81,3 +81,27 @@ def test_parallel_replicates_identical_to_serial():
 def test_parallel_jobs_validation():
     with pytest.raises(ValueError):
         run_replicates(TINY, n_seeds=2, n_jobs=0)
+
+
+def test_repro_jobs_env_default(monkeypatch):
+    """REPRO_JOBS is the default pool width for replicate sweeps."""
+    from repro.experiments.runner import default_n_jobs
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_n_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_n_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError):
+        default_n_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "abc")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_n_jobs()
+
+
+def test_repro_jobs_env_drives_run_replicates(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    parallel = run_replicates(TINY, n_seeds=2, seed0=5)  # n_jobs from env
+    serial = run_replicates(TINY, n_seeds=2, seed0=5, n_jobs=1)
+    for a, b in zip(serial, parallel):
+        assert a.payoffs == b.payoffs

@@ -1,0 +1,97 @@
+"""Differential tests: the cached availability normalisation must be
+bit-identical to the naive per-call re-sum, across every mutation path
+(probe credits, direct counter writes, add/remove/reset neighbours).
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.node import PeerNode
+
+
+def naive_vector(node):
+    """The §2.3 definition, recomputed from scratch each call."""
+    total = sum(v.session_time for v in node.neighbors.values())
+    if total <= 0.0:
+        return {i: 0.0 for i in node.neighbors}
+    return {i: v.session_time / total for i, v in node.neighbors.items()}
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_mutations_match_naive(seed):
+    rng = np.random.default_rng(seed)
+    node = PeerNode(node_id=0, degree=5)
+    node.set_neighbors([1, 2, 3])
+    next_id = 4
+    for _ in range(300):
+        op = rng.random()
+        ids = node.neighbor_ids()
+        if op < 0.35 and ids:
+            # Probe credit through the prober's path.
+            node.credit_session_time(
+                int(rng.choice(ids)), float(rng.uniform(0.0, 30.0)), now=1.0
+            )
+        elif op < 0.55 and ids:
+            # Direct assignment (tests and estimators do this) must also
+            # invalidate, via the NeighborView.session_time property.
+            node.neighbors[int(rng.choice(ids))].session_time = float(
+                rng.uniform(0.0, 50.0)
+            )
+        elif op < 0.7:
+            node.add_neighbor(next_id, initial_session_time=float(rng.uniform(0, 5)))
+            next_id += 1
+        elif op < 0.8 and ids:
+            node.remove_neighbor(int(rng.choice(ids)))
+        elif op < 0.85:
+            node.set_neighbors(list(range(next_id, next_id + 3)))
+            next_id += 3
+        else:
+            pass  # pure read round
+        expect = naive_vector(node)
+        assert node.availability_vector() == expect  # exact, not approx
+        for nid in node.neighbor_ids():
+            assert node.availability(nid) == expect[nid]
+
+
+def test_vector_is_cached_between_reads():
+    node = PeerNode(node_id=0)
+    node.set_neighbors([1, 2])
+    node.credit_session_time(1, 10.0)
+    first = node.availability_vector()
+    assert node.availability_vector() is first  # served from cache
+    node.credit_session_time(2, 5.0)
+    second = node.availability_vector()
+    assert second is not first
+    assert second == naive_vector(node)
+
+
+def test_direct_session_time_write_invalidates():
+    node = PeerNode(node_id=0)
+    node.set_neighbors([1, 2])
+    node.neighbors[1].session_time = 30.0
+    assert node.availability(1) == 1.0
+    node.neighbors[2].session_time = 30.0
+    assert node.availability(1) == 0.5
+
+
+def test_negative_credit_rejected():
+    node = PeerNode(node_id=0)
+    node.set_neighbors([1])
+    with pytest.raises(ValueError):
+        node.credit_session_time(1, -1.0)
+    with pytest.raises(KeyError):
+        node.credit_session_time(9, 1.0)
+
+
+def test_counters_report_cache_reuse():
+    from repro.sim.monitoring import PERF
+
+    node = PeerNode(node_id=0)
+    node.set_neighbors([1, 2])
+    node.credit_session_time(1, 10.0)
+    before = PERF.snapshot()
+    node.availability_vector()
+    node.availability_vector()
+    delta = PERF.delta_since(before)
+    assert delta["availability_cache_misses"] == 1
+    assert delta["availability_cache_hits"] == 1
