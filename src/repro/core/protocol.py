@@ -38,6 +38,7 @@ from repro.core.history import HistoryProfile
 from repro.core.path import Path, PathFailure, SeriesLog
 from repro.core.routing import ForwardingContext, RandomRouting, RoutingStrategy
 from repro.network.overlay import Overlay
+from repro.sim.faults import FaultInjector, FaultPlan, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -117,9 +118,16 @@ class PathBuilder:
     weights: QualityWeights = field(default_factory=QualityWeights)
     max_path_length: int = 30
     max_attempts: int = 10
-    #: Per-hop message-loss probability (failure injection): a lost hop
-    #: tears the partial path down, forcing a reformation.
+    #: Per-hop message-loss probability.  Thin compatibility alias for the
+    #: unified injector: when no ``fault_injector`` is supplied, a nonzero
+    #: value builds a single-channel :class:`FaultPlan` drawing from the
+    #: builder's own ``rng`` (bit-identical to the legacy inline draw).
     loss_probability: float = 0.0
+    #: Unified fault source (repro.sim.faults): per-hop message loss and
+    #: mid-round forwarder crashes both tear the partial path down,
+    #: forcing a reformation; crashes additionally report the victim
+    #: through the injector's ``on_crash`` callback.
+    fault_injector: Optional[FaultInjector] = None
     #: Optional guard-node defence: when set, the initiator's first hop is
     #: the pinned guard (see repro.core.defenses.GuardRegistry).
     guard_registry: Optional[object] = None
@@ -134,6 +142,10 @@ class PathBuilder:
         if not 0.0 <= self.loss_probability < 1.0:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if self.fault_injector is None and self.loss_probability > 0.0:
+            self.fault_injector = FaultInjector(
+                plan=FaultPlan(hop_loss=self.loss_probability), rng=self.rng
             )
 
     def _strategy_for(self, node_id: int) -> RoutingStrategy:
@@ -183,8 +195,49 @@ class PathBuilder:
                 return path
             local_reformations += 1
             self.reformations += 1
+            if self.fault_injector is not None:
+                self.fault_injector.stats.reformations += 1
+        # The failure carries the reformation count accumulated over *all*
+        # attempts of this round, not just the final attempt.
         raise PathFailure(
             f"no path after {attempts} attempts", reformations=local_reformations
+        )
+
+    def build_round_with_retry(
+        self,
+        cid: int,
+        round_index: int,
+        initiator: int,
+        responder: int,
+        contract: Contract,
+        retry: RetryPolicy,
+        retry_rng: Optional[np.random.Generator] = None,
+    ) -> Path:
+        """Recovery wrapper: re-run :meth:`build_round` per ``retry``.
+
+        On final exhaustion the raised :class:`PathFailure` carries the
+        reformation count **accumulated across every retried build**, not
+        the count from the last attempt only — the recovery layer must
+        not under-report how much work the failure consumed.  (Backoff
+        delays are ignored here; the simulation-time variant lives in the
+        scenario's pair process, where a clock exists.)
+        """
+        total_reformations = 0
+        last: Optional[PathFailure] = None
+        for attempt in range(retry.max_retries + 1):
+            try:
+                path = self.build_round(cid, round_index, initiator, responder, contract)
+            except PathFailure as exc:
+                total_reformations += exc.reformations
+                last = exc
+                if attempt < retry.max_retries and self.fault_injector is not None:
+                    self.fault_injector.stats.path_retries += 1
+                continue
+            return path
+        assert last is not None
+        raise PathFailure(
+            f"{last.reason} (after {retry.max_retries} retries)",
+            reformations=total_reformations,
         )
 
     def _attempt(
@@ -218,9 +271,12 @@ class PathBuilder:
                 nxt = strategy.select_next_hop(node, predecessor, context)
             if nxt is None:
                 return None  # dead end -> reformation
-            if self.loss_probability > 0.0 and self.rng.random() < self.loss_probability:
-                self.hops_lost += 1
-                return None  # message lost in transit -> reformation
+            if self.fault_injector is not None:
+                if self.fault_injector.lose_hop():
+                    self.hops_lost += 1
+                    return None  # message lost in transit -> reformation
+                if self.fault_injector.crash_forwarder(nxt):
+                    return None  # selected forwarder crashed -> reformation
             self._emit_hop(context, current, nxt)
             forwarders.append(nxt)
             predecessor, current = current, nxt
@@ -307,6 +363,46 @@ class ConnectionSeries:
                 responder=path.responder,
                 forwarders=path.forwarders,
             )
+        self.log.add(path)
+        return path
+
+    def retry_round(self) -> Optional[Path]:
+        """Re-attempt the current (failed) round — the recovery layer's
+        entry point after a backoff delay.
+
+        A success *converts* the earlier failure: ``failed_rounds`` is
+        decremented and the path is logged under the same round index.
+        Reformations accumulated by the failed builds are retained (they
+        happened; recovery does not erase degradation).
+        """
+        if self._round == 0:
+            raise ValueError("no round attempted yet; call run_round first")
+        if self.log.paths and self.log.paths[-1].round_index == self._round:
+            raise ValueError(f"round {self._round} already succeeded")
+        wire_cid, wire_round = self.cid, self._round
+        if self.cid_rotator is not None:
+            wire_cid = self.cid_rotator.wire_cid(self._round)
+            wire_round = self.cid_rotator.epoch_round(self._round)
+        try:
+            path = self.builder.build_round(
+                cid=wire_cid,
+                round_index=wire_round,
+                initiator=self.initiator,
+                responder=self.responder,
+                contract=self.contract,
+            )
+        except PathFailure as exc:
+            self.log.reformations += exc.reformations
+            return None
+        if wire_cid != self.cid or wire_round != self._round:
+            path = Path(
+                cid=self.cid,
+                round_index=self._round,
+                initiator=path.initiator,
+                responder=path.responder,
+                forwarders=path.forwarders,
+            )
+        self.log.failed_rounds = max(0, self.log.failed_rounds - 1)
         self.log.add(path)
         return path
 

@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--no-bank", action="store_true",
                        help="skip the payment system (faster)")
+    run_p.add_argument(
+        "--fault-severity", type=float, default=0.0, metavar="S",
+        help="chaos knob in [0, 1): inject drops/crashes/timeouts/outages "
+             "scaled by S with retry/backoff recovery (0 = off)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
@@ -93,6 +98,11 @@ def _scale_args(p: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    faults = None
+    if args.fault_severity > 0.0:
+        from repro.experiments.config import FaultConfig
+
+        faults = FaultConfig.from_severity(args.fault_severity)
     cfg = ExperimentConfig(
         seed=args.seed,
         strategy=args.strategy,
@@ -103,10 +113,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         total_transmissions=args.transmissions,
         topology=args.topology,
         use_bank=not args.no_bank,
+        faults=faults,
     )
     result = run_scenario(cfg)
     print(result.summary())
     print(f"  per-series good-node payoff: {result.average_good_series_payoff():.1f}")
+    if faults is not None:
+        injected = sum(
+            result.degradation.get(k, 0)
+            for k in (
+                "messages_dropped", "hops_lost", "forwarder_crashes",
+                "probe_timeouts", "bank_denials",
+            )
+        )
+        print(
+            f"  faults injected: {injected}  "
+            f"recovered rounds: "
+            f"{result.degradation.get('path_retries', 0)} path retries, "
+            f"{result.degradation.get('rounds_abandoned', 0)} abandoned"
+        )
     return 0
 
 

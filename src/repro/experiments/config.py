@@ -14,6 +14,96 @@ from typing import Optional, Tuple
 
 from repro.core.contracts import PF_RANGE
 from repro.core.edge_quality import QualityWeights
+from repro.sim.faults import FaultPlan, RetryPolicy
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Chaos knobs: what to inject and how hard to recover.
+
+    The injection side compiles to a :class:`repro.sim.faults.FaultPlan`
+    (see :meth:`plan`), the recovery side to a
+    :class:`repro.sim.faults.RetryPolicy` (see :meth:`retry_policy`).
+    All probabilities are per-event; delays and windows are in simulated
+    minutes.  The all-zero default is the identity: a scenario run with
+    ``faults=FaultConfig()`` is bit-identical to one with ``faults=None``.
+    """
+
+    #: Transport drops per message kind (payload / reverse confirmation).
+    payload_drop: float = 0.0
+    confirmation_drop: float = 0.0
+    #: Mean exponential extra transfer delay applied to both kinds.
+    message_delay: float = 0.0
+    #: Per-hop loss during path formation (unified ``loss_probability``).
+    hop_loss: float = 0.0
+    #: Mid-round forwarder crash probability and recovery downtime.
+    forwarder_crash: float = 0.0
+    crash_downtime: float = 30.0
+    #: Probe-timeout probability against live neighbours.
+    probe_timeout: float = 0.0
+    #: (start, end) windows during which the bank refuses all operations.
+    bank_outages: Tuple[Tuple[float, float], ...] = ()
+    # --- recovery (capped exponential backoff, deterministic jitter)
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 60.0
+    backoff_jitter: float = 0.1
+
+    def __post_init__(self):
+        # Delegate validation to the canonical fault/retry types.
+        self.plan()
+        self.retry_policy()
+
+    @classmethod
+    def from_severity(cls, severity: float, **overrides) -> "FaultConfig":
+        """One-knob chaos for ablation sweeps: all probabilistic channels
+        scale with ``severity`` (crashes at a quarter rate), plus one
+        early bank outage whose length grows with severity."""
+        if not 0.0 <= severity < 1.0:
+            raise ValueError(f"severity must be in [0, 1), got {severity}")
+        if severity == 0.0:
+            return cls(**overrides)
+        fields = dict(
+            payload_drop=severity / 2.0,
+            confirmation_drop=severity / 2.0,
+            hop_loss=severity,
+            forwarder_crash=severity / 4.0,
+            probe_timeout=severity / 2.0,
+            bank_outages=((60.0, 60.0 + 120.0 * severity),),
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
+    def plan(self) -> FaultPlan:
+        """Compile the injection side to a :class:`FaultPlan`."""
+        drop = {}
+        if self.payload_drop > 0.0:
+            drop["payload"] = self.payload_drop
+        if self.confirmation_drop > 0.0:
+            drop["confirmation"] = self.confirmation_drop
+        delay = {}
+        if self.message_delay > 0.0:
+            delay = {"payload": self.message_delay, "confirmation": self.message_delay}
+        return FaultPlan(
+            drop=drop,
+            delay=delay,
+            hop_loss=self.hop_loss,
+            forwarder_crash=self.forwarder_crash,
+            crash_downtime=self.crash_downtime,
+            probe_timeout=self.probe_timeout,
+            bank_outages=self.bank_outages,
+        )
+
+    def retry_policy(self) -> RetryPolicy:
+        """Compile the recovery side to a :class:`RetryPolicy`."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_delay=self.backoff_base,
+            multiplier=self.backoff_multiplier,
+            max_delay=self.backoff_max,
+            jitter=self.backoff_jitter,
+        )
 
 
 @dataclass(frozen=True)
@@ -125,6 +215,13 @@ class ExperimentConfig:
     use_bank: bool = True
     endowment: float = 1_000_000.0
     bank_key_bits: int = 128
+    # --- chaos (repro.sim.faults)
+    #: Unified fault injection + retry/backoff recovery.  None (or an
+    #: all-zero :class:`FaultConfig`) leaves the run bit-identical to a
+    #: fault-free one; a nonzero plan activates the recovery layer
+    #: (path/probe/settlement retries) and populates
+    #: ``ScenarioResult.degradation``.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self):
         if self.n_nodes < 4:

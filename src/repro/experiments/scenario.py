@@ -33,12 +33,14 @@ from repro.core.routing import RandomRouting, strategy_by_name
 from repro.experiments.config import ExperimentConfig
 from repro.network.bandwidth import BandwidthModel
 from repro.network.churn import ChurnModel, node_lifecycle
+from repro.network.node import NodeState
 from repro.network.overlay import Overlay
 from repro.network.probing import ActiveProber
 from repro.payment.bank import Bank
 from repro.payment.escrow import SeriesEscrow
 from repro.sim.distributions import Exponential, Pareto
 from repro.sim.engine import Environment
+from repro.sim.faults import BankUnavailable, FaultInjector, RetryPolicy
 from repro.sim.rng import RandomStreams
 
 
@@ -79,6 +81,13 @@ class ScenarioResult:
     #: queries, availability/edge-quality cache hits and misses, edges
     #: scored, SPNE memo reuse.
     perf_counters: Dict[str, int] = field(default_factory=dict)
+    #: Fault/recovery degradation counters for this run (snapshot of the
+    #: injector's :class:`~repro.sim.monitoring.DegradationCounters`):
+    #: injected faults (drops, crashes, timeouts, bank denials) plus the
+    #: recovery layer's work (reformations, path/probe/settlement
+    #: retries, dropped rounds, deferred settlements).  All-zero when no
+    #: fault plan was active.
+    degradation: Dict[str, int] = field(default_factory=dict)
 
     def mean_payload_latency(self) -> float:
         if not self.round_latencies:
@@ -226,6 +235,22 @@ class ScenarioResult:
                 f"{p.get('edge_quality_cache_hits', 0)} quality-cache hits, "
                 f"{p.get('spne_memo_hits', 0)} SPNE memo hits"
             )
+        d = self.degradation
+        if d and any(d.values()):
+            lines.append(
+                f"  chaos: {d.get('hops_lost', 0)} hops lost, "
+                f"{d.get('forwarder_crashes', 0)} crashes, "
+                f"{d.get('messages_dropped', 0)} msgs dropped, "
+                f"{d.get('probe_timeouts', 0)} probe timeouts, "
+                f"{d.get('bank_denials', 0)} bank denials"
+            )
+            lines.append(
+                f"  recovery: {d.get('path_retries', 0)} path retries, "
+                f"{d.get('probe_retries', 0)} probe retries, "
+                f"{d.get('rounds_dropped', 0)} rounds dropped, "
+                f"{d.get('deferred_settlements', 0)} settlements deferred "
+                f"({d.get('settlements_failed', 0)} failed)"
+            )
         return "\n".join(lines)
 
 
@@ -262,6 +287,43 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
     )
     cost_model = CostModel(bandwidth=bandwidth)
     histories = {nid: HistoryProfile(nid) for nid in overlay.nodes}
+
+    # ---- fault injection + recovery (repro.sim.faults) ----------------
+    # A missing or all-zero plan wires nothing: no injector, no retry
+    # layer, no extra RNG stream — bit-identical to a fault-free run.
+    fault_plan = config.faults.plan() if config.faults is not None else None
+    if fault_plan is not None and config.loss_probability > 0.0:
+        # Legacy knob folds into the unified injector when a plan is active.
+        fault_plan = fault_plan.with_hop_loss(
+            max(fault_plan.hop_loss, config.loss_probability)
+        )
+    injector: Optional[FaultInjector] = None
+    retry_policy: Optional[RetryPolicy] = None
+    retry_rng = None
+    if fault_plan is not None and not fault_plan.is_zero():
+        injector = FaultInjector(
+            plan=fault_plan, rng=streams["faults"], clock=lambda: env.now
+        )
+        retry_policy = config.faults.retry_policy()
+        retry_rng = streams["fault-retry"]
+        crash_plan = fault_plan
+
+        def _crash_rejoin(node_id: int):
+            yield env.timeout(crash_plan.crash_downtime)
+            node = overlay.nodes[node_id]
+            # The churn lifecycle may have rejoined (or departed) the node
+            # meanwhile; only recover a node still crashed-offline.
+            if node.state is NodeState.OFFLINE and not overlay.is_online(node_id):
+                overlay.join(node_id, env.now)
+
+        def _crash_node(node_id: int) -> None:
+            if not overlay.is_online(node_id):
+                return
+            overlay.leave(node_id, env.now)
+            if crash_plan.crash_downtime > 0:
+                env.process(_crash_rejoin(node_id))
+
+        injector.on_crash = _crash_node
 
     # ---- workload: (I, R) pairs -------------------------------------
     pair_rng = streams["pairs"]
@@ -333,6 +395,8 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         rng=streams["probe"],
         discovery=discovery,
         on_period=on_period,
+        fault_injector=injector,
+        retry=retry_policy,
     )
     env.process(prober.run(env))
 
@@ -386,6 +450,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         max_path_length=config.max_path_length,
         max_attempts=config.max_attempts,
         loss_probability=config.loss_probability,
+        fault_injector=injector,
         guard_registry=guard_registry,
         hop_listener=on_hop,
     )
@@ -398,6 +463,8 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             denominations=tuple(2**k for k in range(17)),
             key_bits=config.bank_key_bits,
         )
+        if injector is not None:
+            bank.availability = injector.bank_available
         for nid in overlay.nodes:
             bank.open_account(nid, endowment=0.0)
         # Initiators carry the working capital: at least the worst-case
@@ -416,6 +483,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
 
     # ---- run the pairs as processes ------------------------------------
     all_series: List[ConnectionSeries] = []
+    pairs_done: List[int] = []
     series_settlements: Dict[int, Dict[int, float]] = {}
     contract_rng = streams["contracts"]
     round_rng = streams["rounds"]
@@ -432,6 +500,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             bandwidth=bandwidth,
             propagation_delay=config.propagation_delay,
             processing_delay=config.processing_delay,
+            fault_injector=injector,
         )
     validation_counts = {"ok": 0, "bad": 0}
     ephemeral_keys: Dict[int, object] = {}
@@ -490,6 +559,17 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
                 waited += 1
             round_times.setdefault(cid, []).append(env.now)
             path = series.run_round()
+            if path is None and injector is not None and retry_policy is not None:
+                # Recovery: back off and retry the failed round against the
+                # (possibly recovered) overlay instead of writing it off.
+                for attempt in range(retry_policy.max_retries):
+                    injector.stats.path_retries += 1
+                    yield env.timeout(retry_policy.delay(attempt, retry_rng))
+                    path = series.retry_round()
+                    if path is not None:
+                        break
+                if path is None:
+                    injector.stats.rounds_abandoned += 1
             if path is not None and config.validate_routes:
                 _validate_route(path)
             if path is not None and transport is not None:
@@ -498,10 +578,40 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
                         path, payload_size=config.payload_size
                     )
                 )
-                round_latencies.append(latencies)
+                if latencies is None:
+                    # Injected transport drop: the round's messages died
+                    # in flight (the path itself still settles — forwarders
+                    # did the work).
+                    injector.stats.rounds_dropped += 1
+                else:
+                    round_latencies.append(latencies)
             gap = config.inter_round_gap * float(0.5 + round_rng.random())
             yield env.timeout(gap)
-        _settle(series, initiator)
+        yield from _settle_with_retry(series, initiator)
+        pairs_done.append(cid)
+
+    def _settle_with_retry(series: ConnectionSeries, initiator: int):
+        """Settle, deferring through bank-outage windows with backoff."""
+        if injector is None or retry_policy is None:
+            _settle(series, initiator)
+            return
+        attempt = 0
+        while True:
+            try:
+                _settle(series, initiator)
+                return
+            except BankUnavailable:
+                if attempt >= retry_policy.max_retries:
+                    # Give up: nobody is paid (the escrow was never opened
+                    # — availability is checked before any value moves).
+                    injector.stats.settlements_failed += 1
+                    series_settlements[series.cid] = {}
+                    return
+                if attempt == 0:
+                    injector.stats.deferred_settlements += 1
+                injector.stats.settlement_retries += 1
+                yield env.timeout(retry_policy.delay(attempt, retry_rng))
+                attempt += 1
 
     def _settle(series: ConnectionSeries, initiator: int) -> None:
         payments = series.settlement()
@@ -544,7 +654,12 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
     horizon = config.inter_round_gap * (rounds + 2) * 2.0
     while True:
         env.run(until=env.now + horizon)
-        if all(s.rounds_attempted >= rounds for s in all_series):
+        # Every pair process must have finished (not merely attempted all
+        # rounds): a deferred settlement may still be backing off through
+        # a bank outage after its last round.
+        if len(pairs_done) >= len(pairs) and all(
+            s.rounds_attempted >= rounds for s in all_series
+        ):
             break
 
     # ---- aggregate -------------------------------------------------------
@@ -577,6 +692,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         routes_invalid=validation_counts["bad"],
         round_latencies=round_latencies,
         perf_counters=PERF.delta_since(perf_before),
+        degradation=injector.stats.snapshot() if injector is not None else {},
     )
 
 

@@ -85,11 +85,16 @@ def node_lifecycle(
         if rng.random() < model.depart_prob:
             overlay.depart(node_id, env.now)
             return
-        overlay.leave(node_id, env.now)
+        # An injected crash (repro.sim.faults) may have taken the node
+        # offline mid-session; the guarded leave/join keep the lifecycle
+        # and the crash/recovery processes from tripping over each other.
+        if overlay.is_online(node_id):
+            overlay.leave(node_id, env.now)
         yield env.timeout(model.offtime.sample(rng))
         # The population may have shrunk below 2 while we slept; join()
         # handles the (re)wiring of neighbours if the set was never built.
-        overlay.join(node_id, env.now)
+        if not overlay.is_online(node_id):
+            overlay.join(node_id, env.now)
 
 
 def churn_process(

@@ -19,6 +19,28 @@ import numpy as np
 
 from repro.network.overlay import Overlay
 from repro.sim.engine import Environment
+from repro.sim.faults import FaultInjector, RetryPolicy
+
+
+def _probe_alive(
+    injector: "Optional[FaultInjector]", retry: "Optional[RetryPolicy]"
+) -> bool:
+    """One fault-aware liveness check of an *actually live* neighbour.
+
+    Without an injector the probe always succeeds.  With one, the first
+    attempt may time out; the retry policy then governs how many re-probes
+    are sent before the neighbour is (wrongly) declared dead.  Probes are
+    sub-second traffic against minute-scale periods, so retries cost no
+    simulated time — only randomness and counters.
+    """
+    if injector is None or not injector.probe_times_out():
+        return True
+    if retry is not None:
+        for _ in range(retry.max_retries):
+            injector.stats.probe_retries += 1
+            if not injector.probe_times_out():
+                return True
+    return False
 
 
 def run_probe_round(
@@ -29,6 +51,8 @@ def run_probe_round(
     now: float,
     replace_dead: bool = True,
     discovery: "Callable[[int, tuple], Optional[int]] | None" = None,
+    fault_injector: "Optional[FaultInjector]" = None,
+    retry: "Optional[RetryPolicy]" = None,
 ) -> dict:
     """One probing round for one node.  Returns a small stats dict.
 
@@ -40,6 +64,12 @@ def run_probe_round(
     pass :meth:`repro.network.gossip.GossipMembership.discover` for fully
     decentralised discovery; the default is the overlay's bootstrap
     oracle.
+
+    ``fault_injector`` may time out probes of live neighbours; ``retry``
+    governs re-probes before such a neighbour is declared dead (and then
+    replaced like a genuinely dead one — a false positive the §2.3
+    estimator has to absorb).  The returned dict gains a ``timed_out``
+    count for those false declarations.
     """
     if period <= 0:
         raise ValueError(f"probe period must be positive, got {period}")
@@ -51,14 +81,16 @@ def run_probe_round(
             return discovery(node_id, exclude)
         return overlay.random_online_peer(exclude=exclude)
 
-    alive = dead = replaced = 0
+    alive = dead = replaced = timed_out = 0
     for nbr_id in list(node.neighbors):
-        if overlay.is_online(nbr_id):
+        if overlay.is_online(nbr_id) and _probe_alive(fault_injector, retry):
             # Route the counter update through the node so its cached
             # availability normalisation is invalidated.
             node.credit_session_time(nbr_id, period, now=now)
             alive += 1
         else:
+            if overlay.is_online(nbr_id):
+                timed_out += 1  # live neighbour lost to probe timeouts
             dead += 1
             node.remove_neighbor(nbr_id)
             if replace_dead:
@@ -79,7 +111,7 @@ def run_probe_round(
                 candidate, initial_session_time=float(rng.uniform(0.0, period))
             )
             replaced += 1
-    return {"alive": alive, "dead": dead, "replaced": replaced}
+    return {"alive": alive, "dead": dead, "replaced": replaced, "timed_out": timed_out}
 
 
 @dataclass
@@ -98,6 +130,9 @@ class ActiveProber:
     discovery: "Callable[[int, tuple], Optional[int]] | None" = None
     #: Optional per-period hook (e.g. GossipMembership.run_round).
     on_period: "Callable[[], object] | None" = None
+    #: Optional fault source (probe timeouts) and re-probe policy.
+    fault_injector: "Optional[FaultInjector]" = None
+    retry: "Optional[RetryPolicy]" = None
     rounds_run: int = 0
 
     def __post_init__(self):
@@ -118,5 +153,7 @@ class ActiveProber:
                     self.rng,
                     env.now,
                     discovery=self.discovery,
+                    fault_injector=self.fault_injector,
+                    retry=self.retry,
                 )
             self.rounds_run += 1

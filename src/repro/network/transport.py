@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.network.bandwidth import BandwidthModel
 from repro.core.path import Path
 from repro.sim.engine import Environment
+from repro.sim.faults import FaultInjector
 from repro.sim.resources import Resource, Store
 
 
@@ -72,9 +73,14 @@ class TransportNetwork:
     bandwidth: BandwidthModel
     propagation_delay: float = 0.01
     processing_delay: float = 0.005
+    #: Unified fault source (repro.sim.faults): messages may be dropped
+    #: or delayed per :class:`MessageKind` according to the injector's
+    #: plan.  None = perfect transport (today's behaviour).
+    fault_injector: Optional[FaultInjector] = None
     _links: Dict[Tuple[int, int], Resource] = field(default_factory=dict, repr=False)
     inboxes: Dict[int, Store] = field(default_factory=dict, repr=False)
     delivered: List[Message] = field(default_factory=list)
+    dropped: List[Message] = field(default_factory=list)
 
     def __post_init__(self):
         if self.propagation_delay < 0 or self.processing_delay < 0:
@@ -96,7 +102,12 @@ class TransportNetwork:
         return box
 
     def transfer(self, message: Message):
-        """Process: move one message over its link (queues if busy)."""
+        """Process: move one message over its link (queues if busy).
+
+        Returns True when the message was delivered, False when the fault
+        injector dropped it in transit (the link was still briefly
+        occupied — a lost message consumes the channel like a real one).
+        """
         link = self._link(message.sender, message.receiver)
         req = link.request()
         yield req
@@ -107,11 +118,19 @@ class TransportNetwork:
                 )
                 + self.propagation_delay
             )
+            if self.fault_injector is not None:
+                duration += self.fault_injector.message_delay(message.kind.value)
             yield self.env.timeout(duration)
         finally:
             link.release(req)
+        if self.fault_injector is not None and self.fault_injector.drop_message(
+            message.kind.value
+        ):
+            self.dropped.append(message)
+            return False
         self.delivered.append(message)
         yield self.inbox(message.receiver).put(message)
+        return True
 
     def send_along_path(
         self,
@@ -123,7 +142,9 @@ class TransportNetwork:
 
         Payload travels initiator -> forwarders -> responder; the
         confirmation returns over the reverse path.  Returns the
-        (payload_latency, round_trip_latency) pair.
+        (payload_latency, round_trip_latency) pair, or None when the
+        fault injector dropped the payload or confirmation in transit
+        (the round's transfer is lost; callers count a dropped round).
         """
         start = self.env.now
         hops = list(zip(path.nodes[:-1], path.nodes[1:]))
@@ -137,7 +158,9 @@ class TransportNetwork:
                 size=payload_size,
                 sent_at=self.env.now,
             )
-            yield self.env.process(self.transfer(msg))
+            delivered = yield self.env.process(self.transfer(msg))
+            if delivered is False:
+                return None
             yield self.env.timeout(self.processing_delay)
         payload_latency = self.env.now - start
         for sender, receiver in reversed([(a, b) for a, b in hops]):
@@ -150,7 +173,9 @@ class TransportNetwork:
                 size=confirmation_size,
                 sent_at=self.env.now,
             )
-            yield self.env.process(self.transfer(msg))
+            delivered = yield self.env.process(self.transfer(msg))
+            if delivered is False:
+                return None
         round_trip = self.env.now - start
         return payload_latency, round_trip
 

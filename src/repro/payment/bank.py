@@ -23,6 +23,7 @@ import numpy as np
 from repro.payment.crypto import BlindSignatureScheme, RSAKeyPair
 from repro.payment.ledger import Ledger
 from repro.payment.tokens import Token, TokenError, WithdrawalRequest
+from repro.sim.faults import BankUnavailable
 
 #: Default denomination set: powers of two, covering escrow budgets of the
 #: paper's experiments (P_f <= 100, ~20 rounds, path length ~4).
@@ -87,6 +88,12 @@ class Bank:
     rng: np.random.Generator
     denominations: Sequence[int] = DEFAULT_DENOMINATIONS
     key_bits: int = 128
+    #: Optional availability oracle (fault injection): when it returns
+    #: False, every value-moving operation raises
+    #: :class:`~repro.sim.faults.BankUnavailable` *before* touching any
+    #: state — an outage never leaves a half-applied operation.  Wire it
+    #: to :meth:`repro.sim.faults.FaultInjector.bank_available`.
+    availability: "Optional[callable]" = field(default=None, repr=False)
     ledger: Ledger = field(default_factory=Ledger)
     schemes: Dict[int, BlindSignatureScheme] = field(default_factory=dict, repr=False)
     _spent: Set[bytes] = field(default_factory=set, repr=False)
@@ -111,6 +118,11 @@ class Bank:
     def balance(self, owner: int) -> float:
         return self.ledger.balance(owner)
 
+    def check_available(self) -> None:
+        """Raise :class:`BankUnavailable` while the bank is offline."""
+        if self.availability is not None and not self.availability():
+            raise BankUnavailable("bank is offline (injected outage)")
+
     # -- withdrawal (blinded) ---------------------------------------------
     def withdraw(self, owner: int, amount: float) -> List[Token]:
         """Withdraw ``ceil(amount)`` as blinded bearer tokens.
@@ -119,6 +131,7 @@ class Bank:
         step (:meth:`sign_blinded`) only ever sees blinded values, so the
         returned tokens are unlinkable to ``owner``.
         """
+        self.check_available()
         denoms = decompose(amount, self.denominations)
         total = float(sum(denoms))
         self.ledger.debit_to_float(owner, total)
@@ -152,6 +165,7 @@ class Bank:
 
     def deposit_to_account(self, owner: int, tokens: Sequence[Token]) -> float:
         """Redeem tokens into an account.  All-or-nothing verification."""
+        self.check_available()
         for t in tokens:
             self._verify_token(t)
         total = 0.0
@@ -167,6 +181,7 @@ class Bank:
 
         The bank learns the escrow's budget but not who funded it.
         """
+        self.check_available()
         for t in tokens:
             self._verify_token(t)
         total = 0.0
@@ -184,6 +199,7 @@ class Bank:
 
     def pay_from_escrow(self, escrow_id: int, owner: int, amount: float) -> None:
         """Pay a forwarder from a funded escrow."""
+        self.check_available()
         if amount < 0:
             raise ValueError(f"negative amount {amount}")
         available = self._escrows.get(escrow_id, 0.0)
@@ -201,6 +217,7 @@ class Bank:
         anonymity; fractional residue below the smallest denomination
         stays in the float (documented house edge of the rounding rule).
         """
+        self.check_available()
         remaining = self._escrows.pop(escrow_id, 0.0)
         smallest = min(self.denominations)
         if remaining < smallest:

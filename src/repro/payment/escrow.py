@@ -38,6 +38,7 @@ class SeriesEscrow:
     budget: float
     opened: bool = False
     settled: bool = False
+    aborted: bool = False
     claims: Dict[int, int] = field(default_factory=dict)
     rejected_claims: List[int] = field(default_factory=list)
     refund: List[Token] = field(default_factory=list)
@@ -79,6 +80,10 @@ class SeriesEscrow:
             raise EscrowError("cannot settle an unopened escrow")
         if self.settled:
             raise EscrowError("escrow already settled")
+        # Outage atomicity: fail before the first payment rather than
+        # between two of them (no simulated time passes inside settle, so
+        # availability cannot flip mid-loop after this check).
+        self.bank.check_available()
         if validated_instances is not None:
             for forwarder, claimed in self.claims.items():
                 actual = validated_instances.get(forwarder, 0)
@@ -94,6 +99,28 @@ class SeriesEscrow:
         self.refund = self.bank.refund_escrow(self.escrow_id, rng=rng)
         self.settled = True
         return paid
+
+    def abort(self, rng: Optional[np.random.Generator] = None) -> List[Token]:
+        """Cancel an opened, unsettled series: nobody is paid, the full
+        escrow balance comes back as fresh bearer tokens.
+
+        This is the recovery path for a series that cannot settle — the
+        responder crashed, every round failed, or the initiator walked
+        away.  Submitted claims are voided (recorded as rejected so the
+        fraud report still sees them).  Terminal like :meth:`settle`.
+        """
+        if not self.opened:
+            raise EscrowError("cannot abort an unopened escrow")
+        if self.settled:
+            raise EscrowError("escrow already settled")
+        if self.aborted:
+            raise EscrowError("escrow already aborted")
+        self.bank.check_available()
+        self.rejected_claims.extend(sorted(self.claims))
+        self.refund = self.bank.refund_escrow(self.escrow_id, rng=rng)
+        self.aborted = True
+        self.settled = True
+        return self.refund
 
     def refund_value(self) -> float:
         return sum(t.denomination for t in self.refund)

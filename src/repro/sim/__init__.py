@@ -20,8 +20,16 @@ function of the model (ties broken by insertion order).
 
 from repro.sim.engine import Environment, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.faults import (
+    BankUnavailable,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.sim.monitoring import (
     PERF,
+    DegradationCounters,
     Histogram,
     PerfCounters,
     RunningStats,
@@ -36,13 +44,19 @@ from repro.sim import distributions
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BankUnavailable",
     "Container",
+    "DegradationCounters",
     "Environment",
     "Event",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
     "Histogram",
     "PERF",
     "PerfCounters",
     "Interrupt",
+    "RetryPolicy",
     "Process",
     "RandomStreams",
     "Resource",

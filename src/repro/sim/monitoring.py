@@ -10,6 +10,9 @@
 - :class:`PerfCounters` / :data:`PERF` — hot-path profiling counters for
   the routing fast path (selectivity queries, availability/edge-quality
   cache hits, SPNE memo reuse).
+- :class:`DegradationCounters` — per-run fault/recovery counters
+  (reformations, retries, dropped rounds, deferred settlements) filled
+  by :class:`repro.sim.faults.FaultInjector` and the recovery layer.
 
 These are substrate utilities: the scenario runner and benchmarks use
 them, and they are exported for downstream models.
@@ -246,6 +249,94 @@ class PerfCounters:
 
 #: Process-wide counter instance used by the routing hot path.
 PERF = PerfCounters()
+
+
+@dataclass
+class DegradationCounters:
+    """Fault-injection and recovery bookkeeping for one run.
+
+    Unlike :data:`PERF` this is *per-run* state: each
+    :class:`~repro.sim.faults.FaultInjector` owns one instance, the
+    recovery layer increments the retry/deferral counters on the same
+    instance, and ``run_scenario`` surfaces the snapshot through
+    ``ScenarioResult.degradation``.
+
+    Injected faults:
+
+    - ``messages_dropped`` / ``messages_delayed`` — transport-level drops
+      and extra delays, per message;
+    - ``hops_lost`` — path-formation hops lost in transit;
+    - ``forwarder_crashes`` — forwarders crashed mid-round;
+    - ``probe_timeouts`` — probe attempts that timed out;
+    - ``bank_denials`` — bank operations refused during outage windows.
+
+    Degradation and recovery:
+
+    - ``reformations`` — path reformations observed by the builder;
+    - ``path_retries`` / ``probe_retries`` / ``settlement_retries`` —
+      backoff-governed retry attempts per subsystem;
+    - ``rounds_dropped`` — rounds whose transported payload or
+      confirmation was lost;
+    - ``rounds_abandoned`` — rounds still failed after every path retry;
+    - ``deferred_settlements`` — settlements postponed past a bank
+      outage; ``settlements_failed`` — settlements abandoned after the
+      retry budget.
+    """
+
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    hops_lost: int = 0
+    forwarder_crashes: int = 0
+    probe_timeouts: int = 0
+    bank_denials: int = 0
+    reformations: int = 0
+    path_retries: int = 0
+    probe_retries: int = 0
+    settlement_retries: int = 0
+    rounds_dropped: int = 0
+    rounds_abandoned: int = 0
+    deferred_settlements: int = 0
+    settlements_failed: int = 0
+
+    _FIELDS = (
+        "messages_dropped",
+        "messages_delayed",
+        "hops_lost",
+        "forwarder_crashes",
+        "probe_timeouts",
+        "bank_denials",
+        "reformations",
+        "path_retries",
+        "probe_retries",
+        "settlement_retries",
+        "rounds_dropped",
+        "rounds_abandoned",
+        "deferred_settlements",
+        "settlements_failed",
+    )
+
+    def reset(self) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current values as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def total_faults_injected(self) -> int:
+        """Faults actually injected (drop/delay/loss/crash/timeout/denial)."""
+        return (
+            self.messages_dropped
+            + self.messages_delayed
+            + self.hops_lost
+            + self.forwarder_crashes
+            + self.probe_timeouts
+            + self.bank_denials
+        )
+
+    def total_retries(self) -> int:
+        """Recovery attempts across all subsystems."""
+        return self.path_retries + self.probe_retries + self.settlement_retries
 
 
 def ascii_bars(

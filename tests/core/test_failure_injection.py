@@ -10,6 +10,7 @@ from repro.core.path import PathFailure
 from repro.core.protocol import ConnectionSeries, PathBuilder, TerminationPolicy
 from repro.core.routing import UtilityModelI
 from repro.network.overlay import Overlay
+from repro.sim.faults import FaultInjector, FaultPlan, RetryPolicy
 
 
 def make_builder(loss, seed=0, max_attempts=10):
@@ -88,3 +89,88 @@ def test_series_accounts_loss_reformations():
     series.run(10)
     # Failures and reformations both surface in the series log.
     assert series.log.reformations + series.log.rounds_completed >= 10 - series.log.failed_rounds
+
+
+# ---- unified injector & accumulated reformation counts -------------------
+
+
+def test_loss_probability_is_alias_for_injector():
+    """The legacy knob compiles to a single-channel FaultPlan drawing from
+    the builder's own rng — bit-identical rounds either way."""
+    legacy = make_builder(0.25, seed=11)
+    unified = make_builder(0.0, seed=11)
+    unified.fault_injector = FaultInjector(
+        plan=FaultPlan(hop_loss=0.25), rng=unified.rng
+    )
+
+    def outcomes(b):
+        out = []
+        for rnd in range(1, 16):
+            try:
+                path = b.build_round(1, rnd, 0, 13, Contract(50, 100))
+                out.append(path.forwarders)
+            except PathFailure as exc:
+                out.append(("FAIL", exc.reformations))
+        return out
+
+    assert outcomes(legacy) == outcomes(unified)
+    assert legacy.hops_lost == unified.hops_lost
+    assert legacy.reformations == unified.reformations
+
+
+def test_exhaustion_reports_accumulated_reformations():
+    """A round that exhausts max_attempts raises with the reformation
+    count accumulated over ALL attempts — not the last attempt's count."""
+    b = make_builder(0.95, seed=2, max_attempts=4)
+    before = b.reformations
+    with pytest.raises(PathFailure) as exc_info:
+        b.build_round(1, 1, 0, 13, Contract(50, 100))
+    # Every attempt ended in a reformation, and the exception carries all
+    # of them (the builder's cumulative counter moved by the same amount).
+    assert exc_info.value.reformations == 4
+    assert b.reformations - before == 4
+
+
+def test_retry_wrapper_accumulates_across_retried_builds():
+    """build_round_with_retry must not under-report: its terminal
+    PathFailure carries reformations summed across every retried build."""
+    b = make_builder(0.0, seed=2, max_attempts=3)
+    b.fault_injector = FaultInjector(
+        # hop_loss ~1: every attempt of every build fails.
+        plan=FaultPlan(hop_loss=0.999999), rng=np.random.default_rng(9)
+    )
+    retry = RetryPolicy(max_retries=2, jitter=0.0)
+    with pytest.raises(PathFailure) as exc_info:
+        b.build_round_with_retry(1, 1, 0, 13, Contract(50, 100), retry=retry)
+    # (retries + 1) builds x max_attempts reformations each.
+    assert exc_info.value.reformations == (2 + 1) * 3
+    assert b.fault_injector.stats.path_retries == 2
+    assert "after 2 retries" in str(exc_info.value)
+
+
+def test_retry_wrapper_recovers_after_transient_failure():
+    b = make_builder(0.55, seed=8, max_attempts=2)
+    retry = RetryPolicy(max_retries=8, jitter=0.0)
+    path = b.build_round_with_retry(1, 1, 0, 13, Contract(50, 100), retry=retry)
+    assert path is not None and len(path.forwarders) >= 1
+
+
+def test_forwarder_crash_forces_reformation_and_reports_victim():
+    crashed = []
+    b = make_builder(0.0, seed=4, max_attempts=50)
+    b.fault_injector = FaultInjector(
+        plan=FaultPlan(forwarder_crash=0.3),
+        rng=np.random.default_rng(5),
+        on_crash=crashed.append,
+    )
+    for rnd in range(1, 11):
+        try:
+            b.build_round(1, rnd, 0, 13, Contract(50, 100))
+        except PathFailure:
+            pass
+    stats = b.fault_injector.stats
+    assert stats.forwarder_crashes > 0
+    assert len(crashed) == stats.forwarder_crashes
+    assert stats.reformations >= stats.forwarder_crashes
+    # Victims are real nodes the builder selected as next hops.
+    assert all(n in b.overlay.nodes for n in crashed)

@@ -1,0 +1,162 @@
+"""Failure-path tests for the payment layer under injected faults:
+mid-lifecycle aborts, refunds after a responder crash, and settlement
+deferred through a bank-outage window (satellite of the chaos harness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.payment.bank import Bank
+from repro.payment.escrow import EscrowError, SeriesEscrow
+from repro.sim.faults import BankUnavailable, FaultInjector, FaultPlan, RetryPolicy
+
+DENOMS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@pytest.fixture
+def bank():
+    b = Bank(rng=np.random.default_rng(1), denominations=DENOMS, key_bits=128)
+    b.open_account(0, endowment=5_000.0)
+    for nid in (5, 6, 7):
+        b.open_account(nid)
+    return b
+
+
+def make_escrow(bank, budget=500.0, escrow_id=1):
+    return SeriesEscrow(
+        bank=bank, escrow_id=escrow_id, initiator_account=0, budget=budget
+    )
+
+
+# ---- abort ---------------------------------------------------------------
+
+
+def test_abort_refunds_everything_nobody_paid(bank):
+    """Responder crashed mid-series: the initiator aborts; the full escrow
+    comes back as tokens, no forwarder is paid, value is conserved."""
+    initial = bank.ledger.minted
+    esc = make_escrow(bank, budget=333.0)
+    esc.open()
+    esc.submit_claim(5, instances=4)
+    esc.submit_claim(6, instances=2)
+    refund = esc.abort()
+    assert esc.aborted and esc.settled
+    assert esc.rejected_claims == [5, 6]  # claims voided, still reported
+    assert bank.balance(5) == 0.0 and bank.balance(6) == 0.0
+    assert esc.refund_value() == pytest.approx(333.0)
+    bank.deposit_to_account(0, refund)
+    assert bank.balance(0) == pytest.approx(5_000.0)
+    assert bank.audit()
+    assert bank.ledger.minted == initial  # no token minted or lost
+
+
+def test_abort_is_terminal(bank):
+    esc = make_escrow(bank)
+    esc.open()
+    esc.abort()
+    with pytest.raises(EscrowError):
+        esc.abort()
+    with pytest.raises(EscrowError):
+        esc.settle({5: 10.0})
+
+
+def test_abort_requires_open(bank):
+    with pytest.raises(EscrowError):
+        make_escrow(bank).abort()
+
+
+# ---- outages -------------------------------------------------------------
+
+
+def outage_bank(bank, windows, t):
+    injector = FaultInjector(
+        plan=FaultPlan(bank_outages=windows),
+        rng=np.random.default_rng(0),
+        clock=lambda: t["now"],
+    )
+    bank.availability = injector.bank_available
+    return injector
+
+
+def test_every_value_moving_op_refuses_during_outage(bank):
+    t = {"now": 50.0}
+    outage_bank(bank, ((40.0, 60.0),), t)
+    esc = make_escrow(bank)
+    with pytest.raises(BankUnavailable):
+        bank.withdraw(0, 10.0)
+    with pytest.raises(BankUnavailable):
+        bank.deposit_to_account(0, [])
+    with pytest.raises(BankUnavailable):
+        esc.open()
+    # Nothing was half-applied: the account is untouched, no escrow exists.
+    assert bank.balance(0) == 5_000.0
+    assert bank.escrow_balance(1) == 0.0
+    assert bank.audit()
+
+
+def test_settle_checks_availability_before_first_payment(bank):
+    t = {"now": 0.0}
+    outage_bank(bank, ((10.0, 30.0),), t)
+    esc = make_escrow(bank, budget=300.0)
+    esc.open()  # bank up at t=0
+    t["now"] = 15.0  # outage begins before settlement
+    with pytest.raises(BankUnavailable):
+        esc.settle({5: 100.0, 6: 100.0})
+    # Atomic: no partial payout, escrow balance intact, still settleable.
+    assert bank.balance(5) == 0.0 and bank.balance(6) == 0.0
+    assert not esc.settled
+    assert bank.escrow_balance(1) >= 300.0
+
+
+def test_settlement_retry_succeeds_after_outage_window(bank):
+    """The recovery layer defers settlement with backoff until the
+    injected outage window closes, then pays out normally."""
+    t = {"now": 100.0}
+    injector = outage_bank(bank, ((95.0, 105.0),), t)
+    esc = make_escrow(bank, budget=300.0)
+    policy = RetryPolicy(max_retries=5, base_delay=2.0, multiplier=2.0, jitter=0.0)
+
+    def advance(delay):
+        t["now"] += delay
+
+    def open_and_settle():
+        if not esc.opened:
+            esc.open()
+        return esc.settle({5: 100.0, 6: 50.0})
+
+    # Backoff schedule from t=100: retries at 102, 106 — the second lands
+    # after the window closes at 105 and the settlement goes through.
+    paid = policy.call(open_and_settle, sleep=advance)
+    assert paid == {5: 100.0, 6: 50.0}
+    assert bank.balance(5) == 100.0 and bank.balance(6) == 50.0
+    assert injector.stats.bank_denials == 2
+    assert t["now"] == pytest.approx(106.0)
+    assert bank.audit()
+
+
+def test_conservation_across_aborted_and_deferred_settlements(bank):
+    """Chaos-lifecycle sweep: whatever mix of aborts, denials and retries
+    happens, minted value is conserved and the audit stays green."""
+    initial = bank.ledger.minted
+    t = {"now": 0.0}
+    outage_bank(bank, ((5.0, 10.0), (20.0, 25.0)), t)
+    rng = np.random.default_rng(7)
+    policy = RetryPolicy(max_retries=10, base_delay=1.0, jitter=0.0)
+    for escrow_id in range(1, 20):
+        t["now"] += float(rng.uniform(0.0, 4.0))
+        esc = make_escrow(bank, budget=100.0, escrow_id=escrow_id)
+
+        def lifecycle():
+            if not esc.opened:
+                esc.open()
+            if rng.random() < 0.4:
+                return esc.abort()
+            return esc.settle({5: 30.0, 6: 20.0})
+
+        policy.call(lifecycle, sleep=lambda d: t.__setitem__("now", t["now"] + d))
+        if esc.refund:
+            bank.deposit_to_account(0, esc.refund)
+    assert bank.audit()
+    assert bank.ledger.minted == initial
+    total = sum(bank.balance(n) for n in (0, 5, 6, 7))
+    assert total + bank.ledger.bank_float == pytest.approx(initial)

@@ -1,0 +1,183 @@
+"""Property-based tests for the chaos harness (repro.sim.faults).
+
+Random fault plans against random worlds -> the system's safety
+invariants must hold no matter what is injected:
+
+- value conservation: no token is minted or lost across settlements and
+  aborted settlements, even through bank-outage windows and retries;
+- degradation accounting: the builder's cumulative ``reformations``
+  counter moves in lock-step with the ``PathFailure``s it emits;
+- structural soundness: every *committed* path still satisfies the
+  :class:`~repro.core.path.Path` invariants (responder never forwards,
+  round indices positive, forwarders online at commit time).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contracts import Contract
+from repro.core.costs import CostModel
+from repro.core.history import HistoryProfile
+from repro.core.path import PathFailure
+from repro.core.protocol import PathBuilder, TerminationPolicy
+from repro.core.routing import strategy_by_name
+from repro.network.overlay import Overlay
+from repro.payment.bank import Bank
+from repro.payment.escrow import SeriesEscrow
+from repro.sim.faults import BankUnavailable, FaultInjector, FaultPlan, RetryPolicy
+
+probability = st.floats(
+    min_value=0.0, max_value=0.9, allow_nan=False, allow_infinity=False
+)
+
+outage_windows = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    ).map(lambda w: (w[0], w[0] + w[1])),
+    max_size=3,
+).map(tuple)
+
+fault_plans = st.builds(
+    FaultPlan,
+    drop=st.fixed_dictionaries(
+        {}, optional={"payload": probability, "confirmation": probability}
+    ),
+    delay=st.fixed_dictionaries(
+        {},
+        optional={
+            "payload": st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+        },
+    ),
+    hop_loss=probability,
+    forwarder_crash=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    probe_timeout=probability,
+    bank_outages=outage_windows,
+)
+
+world_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "n": st.integers(min_value=8, max_value=24),
+        "f": st.sampled_from([0.0, 0.2]),
+        "strategy": st.sampled_from(["random", "utility-I"]),
+        "rounds": st.integers(min_value=1, max_value=8),
+    }
+)
+
+
+def build_world(p, plan):
+    ov = Overlay(rng=np.random.default_rng(p["seed"]), degree=4)
+    ov.bootstrap(p["n"], malicious_fraction=p["f"])
+    injector = FaultInjector(plan=plan, rng=np.random.default_rng(p["seed"] + 99))
+    builder = PathBuilder(
+        overlay=ov,
+        cost_model=CostModel(),
+        histories={nid: HistoryProfile(nid) for nid in ov.nodes},
+        rng=np.random.default_rng(p["seed"] + 1),
+        good_strategy=strategy_by_name(p["strategy"]),
+        termination=TerminationPolicy.crowds(0.6),
+        max_attempts=6,
+        fault_injector=injector,
+    )
+    return ov, builder, injector
+
+
+@settings(max_examples=40, deadline=None)
+@given(world_params, fault_plans)
+def test_reformation_counter_matches_emitted_failures(p, plan):
+    """Per build: on failure the builder's cumulative counter moves by
+    exactly the failure's ``reformations``; on success it moves by less
+    than ``max_attempts`` (the successful attempt is not a reformation)."""
+    _, builder, _ = build_world(p, plan)
+    for rnd in range(1, p["rounds"] + 1):
+        before = builder.reformations
+        try:
+            builder.build_round(1, rnd, 0, p["n"] - 1, Contract(50, 100))
+        except PathFailure as exc:
+            assert builder.reformations - before == exc.reformations
+            assert exc.reformations <= builder.max_attempts
+        else:
+            assert 0 <= builder.reformations - before <= builder.max_attempts - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(world_params, fault_plans)
+def test_committed_paths_stay_structurally_valid_under_any_plan(p, plan):
+    """Whatever the injector tears down, what survives to commit is sound
+    (Path.__post_init__ invariants plus liveness at commit time)."""
+    ov, builder, injector = build_world(p, plan)
+    responder = p["n"] - 1
+    for rnd in range(1, p["rounds"] + 1):
+        try:
+            path = builder.build_round(1, rnd, 0, responder, Contract(50, 100))
+        except PathFailure:
+            continue
+        assert path.round_index == rnd
+        assert path.initiator != path.responder
+        assert responder not in path.forwarder_set
+        assert 1 <= path.length <= builder.max_path_length
+        assert path.forwarder_set <= set(ov.online_ids())
+        # Commit wrote every hop record into the forwarders' histories.
+        for pred, node, succ in path.hop_records():
+            recs = builder.histories[node].records_for(1)
+            assert any(
+                r.round_index == rnd and r.predecessor == pred and r.successor == succ
+                for r in recs
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fault_plans,
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=8),
+)
+def test_no_token_minted_or_lost_across_aborted_settlements(plan, seed, n_series):
+    """Token conservation under any plan: escrows that open may settle,
+    abort, or fail outright on an outage — minted value never changes and
+    the ledger audit stays green throughout."""
+    rng = np.random.default_rng(seed)
+    bank = Bank(
+        rng=np.random.default_rng(1),
+        denominations=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        key_bits=128,
+    )
+    bank.open_account(0, endowment=10_000.0)
+    for nid in (5, 6):
+        bank.open_account(nid)
+    t = {"now": 0.0}
+    injector = FaultInjector(
+        plan=plan, rng=np.random.default_rng(seed + 1), clock=lambda: t["now"]
+    )
+    bank.availability = injector.bank_available
+    initial_minted = bank.ledger.minted
+    policy = RetryPolicy(max_retries=4, base_delay=1.0, jitter=0.0)
+    for escrow_id in range(1, n_series + 1):
+        t["now"] += float(rng.uniform(0.0, 15.0))
+        esc = SeriesEscrow(
+            bank=bank, escrow_id=escrow_id, initiator_account=0, budget=64.0
+        )
+        abort = bool(rng.random() < 0.5)
+
+        def lifecycle():
+            if not esc.opened:
+                esc.open()
+            if abort:
+                return esc.abort()
+            return esc.settle({5: 20.0, 6: 10.0})
+
+        try:
+            policy.call(
+                lifecycle, sleep=lambda d: t.__setitem__("now", t["now"] + d)
+            )
+        except BankUnavailable:
+            pass  # exhausted retries inside a long outage: also fine
+        if esc.refund and injector.bank_available():
+            bank.deposit_to_account(0, esc.refund)
+        assert bank.ledger.minted == initial_minted
+        assert bank.audit()
+    balances = sum(bank.balance(n) for n in (0, 5, 6))
+    assert balances + bank.ledger.bank_float == pytest.approx(initial_minted)
