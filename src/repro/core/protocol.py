@@ -38,6 +38,8 @@ from repro.core.history import HistoryProfile
 from repro.core.path import Path, PathFailure, SeriesLog
 from repro.core.routing import ForwardingContext, RandomRouting, RoutingStrategy
 from repro.network.overlay import Overlay
+from repro.obs.events import EventBus
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.faults import FaultInjector, FaultPlan, RetryPolicy
 
 
@@ -133,6 +135,13 @@ class PathBuilder:
     guard_registry: Optional[object] = None
     #: Optional sink for per-hop events (traffic analysis, cost accounting).
     hop_listener: Optional[Callable[[HopEvent], None]] = None
+    #: Optional structured event bus: ``path.form`` / ``path.reform`` /
+    #: ``path.fail`` per round.  Events carry the *wire* cid the builder
+    #: was called with (what an on-path observer sees under cid rotation).
+    bus: Optional[EventBus] = field(default=None, repr=False)
+    #: Span tracer for ``path.build`` (one span per round built); shared
+    #: with every :class:`ForwardingContext` the builder creates.
+    tracer: object = field(default=NULL_TRACER, repr=False)
     #: Cumulative reformation count across all rounds built.
     reformations: int = 0
     #: Hops lost to failure injection.
@@ -163,6 +172,7 @@ class PathBuilder:
             histories=self.histories,
             rng=self.rng,
             weights=self.weights,
+            tracer=self.tracer,
         )
 
     def build_round(
@@ -176,27 +186,63 @@ class PathBuilder:
         """Establish the path for one round; raises :class:`PathFailure`
         after ``max_attempts`` reformations."""
         if not self.overlay.is_online(initiator):
-            raise PathFailure("initiator offline", reformations=0)
-        context = self._context(cid, round_index, contract, responder)
-        attempts = 0
-        local_reformations = 0
-        while attempts < self.max_attempts:
-            attempts += 1
-            forwarders = self._attempt(context, initiator, responder)
-            if forwarders is not None:
-                path = Path(
+            if self.bus is not None:
+                self.bus.emit(
+                    "path.fail",
                     cid=cid,
                     round_index=round_index,
-                    initiator=initiator,
-                    responder=responder,
-                    forwarders=tuple(forwarders),
+                    node=initiator,
+                    reason="initiator offline",
+                    reformations=0,
                 )
-                self._commit(path)
-                return path
-            local_reformations += 1
-            self.reformations += 1
-            if self.fault_injector is not None:
-                self.fault_injector.stats.reformations += 1
+            raise PathFailure("initiator offline", reformations=0)
+        with self.tracer.span("path.build"):
+            context = self._context(cid, round_index, contract, responder)
+            attempts = 0
+            local_reformations = 0
+            while attempts < self.max_attempts:
+                attempts += 1
+                forwarders = self._attempt(context, initiator, responder)
+                if forwarders is not None:
+                    path = Path(
+                        cid=cid,
+                        round_index=round_index,
+                        initiator=initiator,
+                        responder=responder,
+                        forwarders=tuple(forwarders),
+                    )
+                    self._commit(path)
+                    if self.bus is not None:
+                        self.bus.emit(
+                            "path.form",
+                            cid=cid,
+                            round_index=round_index,
+                            node=initiator,
+                            n_forwarders=len(forwarders),
+                            reformations=local_reformations,
+                        )
+                    return path
+                local_reformations += 1
+                self.reformations += 1
+                if self.fault_injector is not None:
+                    self.fault_injector.stats.reformations += 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "path.reform",
+                        cid=cid,
+                        round_index=round_index,
+                        node=initiator,
+                        attempt=attempts,
+                    )
+        if self.bus is not None:
+            self.bus.emit(
+                "path.fail",
+                cid=cid,
+                round_index=round_index,
+                node=initiator,
+                reason="attempts exhausted",
+                reformations=local_reformations,
+            )
         # The failure carries the reformation count accumulated over *all*
         # attempts of this round, not just the final attempt.
         raise PathFailure(

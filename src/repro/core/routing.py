@@ -35,6 +35,7 @@ from repro.core.history import HistoryProfile
 from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.monitoring import PERF
 
 
@@ -68,6 +69,16 @@ class ForwardingContext:
     #: default: under churn the upstream prefix varies between rounds, and
     #: conditioning on it discards most reuse signal.
     position_aware_selectivity: bool = False
+    #: Span tracer for decision-level timing (``spne.decide``).  Defaults
+    #: to the shared no-op tracer, so uninstrumented constructors and the
+    #: routing hot path pay only a no-op ``with`` block.
+    tracer: object = field(default=NULL_TRACER, repr=False)
+    #: This thread's plain counter instance, bound once at construction.
+    #: Hot methods increment through this (or a local alias) rather than
+    #: the ``PERF`` facade, which pays thread-local indirection per access.
+    perf: object = field(
+        default_factory=lambda: PERF.counters, repr=False, compare=False
+    )
     #: Per-round edge-quality memo keyed ``(node, neighbor, selectivity
     #: predecessor, round_index)``.  ``round_index`` is in the key so a
     #: context reused across rounds (tests mutate ``round_index`` in
@@ -100,11 +111,12 @@ class ForwardingContext:
         sel_pred = self.selectivity_predecessor(predecessor)
         key = (node.node_id, neighbor, sel_pred, self.round_index)
         cached = self._edge_quality_cache.get(key)
+        perf = self.perf
         if cached is not None:
-            PERF.edge_quality_cache_hits += 1
+            perf.edge_quality_cache_hits += 1
             return cached
-        PERF.edge_quality_cache_misses += 1
-        PERF.edges_scored += 1
+        perf.edge_quality_cache_misses += 1
+        perf.edges_scored += 1
         q = edge_quality(
             node,
             neighbor,
@@ -216,11 +228,13 @@ def _score_edges_model1(
 ) -> List[Tuple[float, float, int]]:
     """(utility, quality, neighbor) triples for every candidate, eq. 1."""
     out = []
+    perf = context.perf
     for nbr, q in context.scored_candidates(node, predecessor):
         cost = context.cost_model.decision_cost(
             node.participation_cost, node.node_id, nbr, context.contract.payload_size
         )
         u = forwarder_utility_model1(context.contract, q, cost)
+        perf.utility_evaluations += 1
         out.append((u, q, nbr))
     return out
 
@@ -316,9 +330,9 @@ class UtilityModelII(RoutingStrategy):
         key = (node_id, predecessor, depth)
         hit = memo.get(key)
         if hit is not None:
-            PERF.spne_memo_hits += 1
+            context.perf.spne_memo_hits += 1
             return hit
-        PERF.spne_memo_misses += 1
+        context.perf.spne_memo_misses += 1
         node = context.overlay.nodes[node_id]
         best_sum, best_n = 0.0, 0
         best_mean = -1.0
@@ -366,22 +380,25 @@ class UtilityModelII(RoutingStrategy):
     ) -> Optional[int]:
         # One shared SPNE memo for the entire candidate set: overlapping
         # downstream subtrees are expanded exactly once per decision.
-        memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]] = {}
-        scored: List[Tuple[float, float, int]] = []
-        for nbr, _q in context.scored_candidates(node, predecessor):
-            pq = self.path_quality_through(node, nbr, predecessor, context, memo=memo)
-            cost = context.cost_model.decision_cost(
-                node.participation_cost,
-                node.node_id,
-                nbr,
-                context.contract.payload_size,
-            )
-            u = forwarder_utility_model2(context.contract, pq, cost)
-            scored.append((u, pq, nbr))
-        best = _argmax_with_quality_tiebreak(scored)
-        if best is None or best[0] < self.participation_threshold:
-            return None
-        return best[2]
+        with context.tracer.span("spne.decide"):
+            memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]] = {}
+            scored: List[Tuple[float, float, int]] = []
+            perf = context.perf
+            for nbr, _q in context.scored_candidates(node, predecessor):
+                pq = self.path_quality_through(node, nbr, predecessor, context, memo=memo)
+                cost = context.cost_model.decision_cost(
+                    node.participation_cost,
+                    node.node_id,
+                    nbr,
+                    context.contract.payload_size,
+                )
+                u = forwarder_utility_model2(context.contract, pq, cost)
+                perf.utility_evaluations += 1
+                scored.append((u, pq, nbr))
+            best = _argmax_with_quality_tiebreak(scored)
+            if best is None or best[0] < self.participation_threshold:
+                return None
+            return best[2]
 
 
 def strategy_by_name(name: str, **kwargs) -> RoutingStrategy:

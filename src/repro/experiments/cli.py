@@ -2,10 +2,13 @@
 
 Subcommands:
 
-- ``run`` — one simulation scenario, printing the summary;
+- ``run`` — one simulation scenario, printing the summary (``--trace-out``
+  / ``--metrics-out`` export the run's structured trace and metrics);
 - ``figure {3,4,5,6,7}`` — regenerate a paper figure;
 - ``table 2`` — regenerate Table 2 (with the paper's printed values);
-- ``prop 1`` — the Proposition 1 reformation experiment.
+- ``prop 1`` — the Proposition 1 reformation experiment;
+- ``obs summarize <trace.jsonl>`` — render a run report from an exported
+  trace (top spans, per-subsystem event tables, round timelines).
 
 Scale is selected with ``--preset quick|paper`` and ``--seeds N``.
 """
@@ -67,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos knob in [0, 1): inject drops/crashes/timeouts/outages "
              "scaled by S with retry/backoff recovery (0 = off)",
     )
+    run_p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable structured tracing and write the run trace as JSONL "
+             "(readable by 'repro obs summarize')",
+    )
+    run_p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry to this path",
+    )
+    run_p.add_argument(
+        "--metrics-format", choices=("prom", "json"), default="prom",
+        help="exporter for --metrics-out: Prometheus text or JSON",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
@@ -89,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the markdown report to this path")
     _scale_args(suite_p)
 
+    obs_p = sub.add_parser("obs", help="observability tooling")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    sum_p = obs_sub.add_parser(
+        "summarize", help="render a run report from an exported JSONL trace"
+    )
+    sum_p.add_argument("trace", help="path to a trace written by --trace-out")
+    sum_p.add_argument("--top-spans", type=int, default=10,
+                       help="how many span names to chart (by cumulative wall time)")
+    sum_p.add_argument("--max-series", type=int, default=12,
+                       help="how many per-series round timelines to render")
+
     return parser
 
 
@@ -103,6 +130,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments.config import FaultConfig
 
         faults = FaultConfig.from_severity(args.fault_severity)
+    obs_config = None
+    if args.trace_out is not None:
+        from repro.obs import ObsConfig
+
+        obs_config = ObsConfig()
     cfg = ExperimentConfig(
         seed=args.seed,
         strategy=args.strategy,
@@ -114,9 +146,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology=args.topology,
         use_bank=not args.no_bank,
         faults=faults,
+        obs=obs_config,
     )
     result = run_scenario(cfg)
     print(result.summary())
+    if args.trace_out is not None:
+        n = result.trace.write_jsonl(args.trace_out)
+        print(f"  trace: {n} lines written to {args.trace_out}")
+    if args.metrics_out is not None:
+        from pathlib import Path
+
+        text = (
+            result.metrics.to_json(indent=2)
+            if args.metrics_format == "json"
+            else result.metrics.to_prometheus()
+        )
+        Path(args.metrics_out).write_text(text)
+        print(f"  metrics: {args.metrics_format} written to {args.metrics_out}")
     print(f"  per-series good-node payoff: {result.average_good_series_payoff():.1f}")
     if faults is not None:
         injected = sum(
@@ -212,6 +258,17 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0 if result.all_passed else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import summarize_file
+
+    print(
+        summarize_file(
+            args.trace, top_spans=args.top_spans, max_series=args.max_series
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -221,5 +278,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": _cmd_table,
         "prop": _cmd_prop,
         "suite": _cmd_suite,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)

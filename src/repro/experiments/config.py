@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.core.contracts import PF_RANGE
 from repro.core.edge_quality import QualityWeights
+from repro.obs import ObsConfig
 from repro.sim.faults import FaultPlan, RetryPolicy
 
 
@@ -222,6 +223,14 @@ class ExperimentConfig:
     #: (path/probe/settlement retries) and populates
     #: ``ScenarioResult.degradation``.
     faults: Optional[FaultConfig] = None
+    # --- observability (repro.obs)
+    #: Structured run tracing: None (default) wires nothing — no event
+    #: bus, no live tracer, bit-identical to an untraced run.  An
+    #: :class:`repro.obs.ObsConfig` enables the event bus and/or span
+    #: tracer; the collected trace surfaces as ``ScenarioResult.trace``.
+    #: (The metrics registry and phase timings are always populated —
+    #: they are collected after the simulation, off the hot path.)
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self):
         if self.n_nodes < 4:

@@ -18,6 +18,7 @@ The flow (matching §3's setup):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -36,6 +37,8 @@ from repro.network.churn import ChurnModel, node_lifecycle
 from repro.network.node import NodeState
 from repro.network.overlay import Overlay
 from repro.network.probing import ActiveProber
+from repro.obs import MetricsRegistry, Observability, RunTrace
+from repro.obs.tracing import NULL_TRACER
 from repro.payment.bank import Bank
 from repro.payment.escrow import SeriesEscrow
 from repro.sim.distributions import Exponential, Pareto
@@ -88,6 +91,19 @@ class ScenarioResult:
     #: retries, dropped rounds, deferred settlements).  All-zero when no
     #: fault plan was active.
     degradation: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase wall-clock seconds: ``setup`` (construction up to the
+    #: first ``env.run``), ``simulate`` (the event loop), ``settle``
+    #: (cumulative settlement work — it runs *inside* the event loop, so
+    #: it is a subset of ``simulate``, broken out for attribution), and
+    #: ``collect`` (aggregation after the loop).  Always populated.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    #: Structured run trace (events + spans), populated only when
+    #: ``config.obs`` enabled tracing; None otherwise.
+    trace: Optional[RunTrace] = field(default=None, repr=False)
+    #: Metrics registry for this run: perf/fault counters, scenario and
+    #: bank gauges, phase timings — exportable via ``to_prometheus()`` /
+    #: ``to_json()``.  Always populated (collected after the run).
+    metrics: Optional[MetricsRegistry] = field(default=None, repr=False)
 
     def mean_payload_latency(self) -> float:
         if not self.round_latencies:
@@ -227,6 +243,15 @@ class ScenarioResult:
             f"  sim duration: {self.sim_duration:.0f} min  "
             f"bank audit: {self.bank_audit_ok}",
         ]
+        if self.phase_timings:
+            lines.append(
+                "  wall clock: "
+                + "  ".join(
+                    f"{phase} {self.phase_timings.get(phase, 0.0):.3f}s"
+                    for phase in ("setup", "simulate", "settle", "collect")
+                    if phase in self.phase_timings
+                )
+            )
         if self.perf_counters:
             p = self.perf_counters
             lines.append(
@@ -259,8 +284,23 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
     from repro.sim.monitoring import PERF
 
     perf_before = PERF.snapshot()
+    t_setup0 = time.perf_counter()
     streams = RandomStreams(config.seed)
     env = Environment()
+
+    # ---- observability (repro.obs) ------------------------------------
+    # Disabled (the default): no bus, and every instrumented component
+    # keeps its NULL_TRACER default — the run stays bit-identical to an
+    # uninstrumented one (nothing here ever touches RandomStreams).
+    obs: Optional[Observability] = None
+    if config.obs is not None and config.obs.any_enabled():
+        obs = Observability.create(clock=lambda: env.now, config=config.obs)
+    bus = obs.bus if obs is not None else None
+    tracer = obs.tracer if obs is not None else NULL_TRACER
+    emit_hops = bus is not None and config.obs.hop_events
+    # Phase spans bracket regions of this (synchronous) frame, so they
+    # are entered/exited manually rather than re-indenting the harness.
+    _setup_span = tracer.span("scenario.setup").__enter__()
 
     overlay = Overlay(rng=streams["overlay"], degree=config.degree)
     overlay.bootstrap(
@@ -302,7 +342,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
     retry_rng = None
     if fault_plan is not None and not fault_plan.is_zero():
         injector = FaultInjector(
-            plan=fault_plan, rng=streams["faults"], clock=lambda: env.now
+            plan=fault_plan, rng=streams["faults"], clock=lambda: env.now, bus=bus
         )
         retry_policy = config.faults.retry_policy()
         retry_rng = streams["fault-retry"]
@@ -376,7 +416,13 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
                 continue
             env.process(
                 node_lifecycle(
-                    env, overlay, nid, churn_model, churn_rng, session_scale=scale
+                    env,
+                    overlay,
+                    nid,
+                    churn_model,
+                    churn_rng,
+                    session_scale=scale,
+                    bus=bus,
                 )
             )
 
@@ -397,6 +443,8 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         on_period=on_period,
         fault_injector=injector,
         retry=retry_policy,
+        bus=bus,
+        tracer=tracer,
     )
     env.process(prober.run(env))
 
@@ -421,6 +469,14 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         if contract is not None:
             accrued[event.sender] = (
                 accrued.get(event.sender, 0.0) + contract.forwarding_benefit
+            )
+        if emit_hops:
+            bus.emit(
+                "hop.forward",
+                cid=event.cid,
+                round_index=event.round_index,
+                node=event.sender,
+                receiver=event.receiver,
             )
 
     # ---- path building --------------------------------------------------
@@ -453,6 +509,8 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         fault_injector=injector,
         guard_registry=guard_registry,
         hop_listener=on_hop,
+        bus=bus,
+        tracer=tracer,
     )
 
     # ---- bank -------------------------------------------------------------
@@ -462,6 +520,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             rng=streams["bank"],
             denominations=tuple(2**k for k in range(17)),
             key_bits=config.bank_key_bits,
+            bus=bus,
         )
         if injector is not None:
             bank.availability = injector.bank_available
@@ -590,6 +649,10 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         yield from _settle_with_retry(series, initiator)
         pairs_done.append(cid)
 
+    #: Cumulative wall-clock seconds spent inside _settle (the "settle"
+    #: phase runs within the event loop, so it is broken out by summing).
+    settle_wall = [0.0]
+
     def _settle_with_retry(series: ConnectionSeries, initiator: int):
         """Settle, deferring through bank-outage windows with backoff."""
         if injector is None or retry_policy is None:
@@ -606,17 +669,31 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
                     # — availability is checked before any value moves).
                     injector.stats.settlements_failed += 1
                     series_settlements[series.cid] = {}
+                    if bus is not None:
+                        bus.emit("settle.fail", cid=series.cid, attempts=attempt)
                     return
                 if attempt == 0:
                     injector.stats.deferred_settlements += 1
                 injector.stats.settlement_retries += 1
+                if bus is not None:
+                    bus.emit("settle.defer", cid=series.cid, attempt=attempt)
                 yield env.timeout(retry_policy.delay(attempt, retry_rng))
                 attempt += 1
 
     def _settle(series: ConnectionSeries, initiator: int) -> None:
+        t0 = time.perf_counter()
+        try:
+            with tracer.span("settle.series"):
+                _settle_inner(series, initiator)
+        finally:
+            settle_wall[0] += time.perf_counter() - t0
+
+    def _settle_inner(series: ConnectionSeries, initiator: int) -> None:
         payments = series.settlement()
         series_settlements[series.cid] = dict(payments)
         if not payments:
+            if bus is not None:
+                bus.emit("settle.series", cid=series.cid, paid=0.0, n_forwarders=0)
             return
         if bank is not None:
             total = sum(payments.values())
@@ -638,6 +715,14 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         for node, m in instances.items():
             if node in accrued:
                 accrued[node] = max(0.0, accrued[node] - m * pf)
+        if bus is not None:
+            bus.emit(
+                "settle.series",
+                cid=series.cid,
+                paid=sum(payments.values()),
+                n_forwarders=len(payments),
+                banked=bank is not None,
+            )
 
     for cid, (i, r) in enumerate(pairs, start=1):
         contract = draw_contract(
@@ -649,8 +734,13 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         contracts_by_cid[cid] = contract
         env.process(pair_process(cid, i, r, contract))
 
+    _setup_span.__exit__(None, None, None)
+    phase_timings: Dict[str, float] = {"setup": time.perf_counter() - t_setup0}
+
     # Run until all workload processes finish (plus prober/churn, which are
     # infinite; stop when every series has attempted all rounds).
+    t_sim0 = time.perf_counter()
+    _sim_span = tracer.span("scenario.simulate").__enter__()
     horizon = config.inter_round_gap * (rounds + 2) * 2.0
     while True:
         env.run(until=env.now + horizon)
@@ -661,8 +751,13 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             s.rounds_attempted >= rounds for s in all_series
         ):
             break
+    _sim_span.__exit__(None, None, None)
+    phase_timings["simulate"] = time.perf_counter() - t_sim0
+    phase_timings["settle"] = settle_wall[0]
 
     # ---- aggregate -------------------------------------------------------
+    t_collect0 = time.perf_counter()
+    _collect_span = tracer.span("scenario.collect").__enter__()
     costs: Dict[int, float] = dict(transmission_costs)
     for nid in participated:
         costs[nid] = costs.get(nid, 0.0) + overlay.nodes[nid].participation_cost
@@ -672,6 +767,36 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
 
     series_logs = [s.log for s in all_series]
     stats = [ConnectionSeriesStats.from_log(log) for log in series_logs]
+    _collect_span.__exit__(None, None, None)
+    phase_timings["collect"] = time.perf_counter() - t_collect0
+
+    perf_delta = PERF.delta_since(perf_before)
+    degradation = injector.stats.snapshot() if injector is not None else {}
+    trace: Optional[RunTrace] = None
+    if obs is not None:
+        trace = obs.run_trace(
+            meta={
+                "seed": config.seed,
+                "strategy": config.strategy,
+                "malicious_fraction": config.malicious_fraction,
+                "tau": config.tau,
+                "n_nodes": config.n_nodes,
+                "n_pairs": config.n_pairs,
+                "rounds_per_pair": rounds,
+                "sim_duration": env.now,
+            }
+        )
+    registry = _build_run_metrics(
+        config=config,
+        stats=stats,
+        reformations=builder.reformations,
+        sim_duration=env.now,
+        perf_delta=perf_delta,
+        degradation=degradation,
+        phase_timings=phase_timings,
+        bank=bank,
+        trace=trace,
+    )
     return ScenarioResult(
         config=config,
         payoffs=payoffs,
@@ -691,9 +816,72 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         routes_validated=validation_counts["ok"],
         routes_invalid=validation_counts["bad"],
         round_latencies=round_latencies,
-        perf_counters=PERF.delta_since(perf_before),
-        degradation=injector.stats.snapshot() if injector is not None else {},
+        perf_counters=perf_delta,
+        degradation=degradation,
+        phase_timings=phase_timings,
+        trace=trace,
+        metrics=registry,
     )
+
+
+def _build_run_metrics(
+    *,
+    config: ExperimentConfig,
+    stats: List[ConnectionSeriesStats],
+    reformations: int,
+    sim_duration: float,
+    perf_delta: Dict[str, int],
+    degradation: Dict[str, int],
+    phase_timings: Dict[str, float],
+    bank: Optional[Bank],
+    trace: Optional[RunTrace],
+) -> MetricsRegistry:
+    """Materialise one run's counters/gauges into a fresh registry.
+
+    Built after the simulation from plain snapshot dicts, so it costs
+    nothing on the hot path and the registry holds no callables (it must
+    survive pickling across the ``REPRO_JOBS`` process pool).
+    """
+    registry = MetricsRegistry()
+    registry.register_counters(
+        "repro_perf", perf_delta, help="Hot-path profiling counters (PERF delta)."
+    )
+    if degradation:
+        registry.register_counters(
+            "repro_fault",
+            degradation,
+            help="Fault-injection and recovery counters (DegradationCounters).",
+        )
+    g = registry.gauge("repro_scenario", "Scenario-level outcome gauges.")
+    g.set(float(sum(s.rounds_completed for s in stats)), stat="rounds_completed")
+    g.set(float(sum(s.failed_rounds for s in stats)), stat="rounds_failed")
+    g.set(float(reformations), stat="reformations")
+    g.set(float(len(stats)), stat="n_series")
+    g.set(float(sim_duration), stat="sim_duration_minutes")
+    phase = registry.gauge(
+        "repro_phase_wall_seconds", "Per-phase wall-clock time for the run."
+    )
+    for name, seconds in phase_timings.items():
+        phase.set(seconds, phase=name)
+    if bank is not None:
+        registry.register_gauges(
+            "repro_bank", bank.stats(), help="Bank operational counters."
+        )
+    if trace is not None:
+        ev = registry.counter(
+            "repro_events_total", "Structured trace events by kind."
+        )
+        for kind, n in sorted(trace.counts_by_kind().items()):
+            ev.inc(float(n), kind=kind)
+        span_wall = registry.counter(
+            "repro_span_wall_seconds_total",
+            "Cumulative wall time per span name.",
+        )
+        span_n = registry.counter("repro_spans_total", "Completed spans per name.")
+        for name, summary in sorted(trace.span_summary().items()):
+            span_wall.inc(summary["wall"], span=name)
+            span_n.inc(float(summary["count"]), span=name)
+    return registry
 
 
 def _select_pairs(

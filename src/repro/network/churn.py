@@ -18,11 +18,12 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.network.overlay import Overlay
+from repro.obs.events import EventBus
 from repro.sim.distributions import Exponential, Pareto
 from repro.sim.engine import Environment
 
@@ -62,6 +63,7 @@ def node_lifecycle(
     model: ChurnModel,
     rng: np.random.Generator,
     session_scale: "Callable[[int], float] | None" = None,
+    bus: "Optional[EventBus]" = None,
 ):
     """Drive one (already online) node through session/off-time cycles.
 
@@ -71,6 +73,10 @@ def node_lifecycle(
     forwarding income stays online longer (the paper's §1 thesis that
     incentives "induce the peer nodes to provide anonymity forwarding as
     reliable service").  Default: exogenous churn (scale 1).
+
+    ``bus`` records ``churn.leave`` / ``churn.join`` / ``churn.depart``
+    events (emission follows the overlay transition, so attaching a bus
+    never changes the RNG sequence).
     """
     node = overlay.nodes[node_id]
     if not node.is_online:
@@ -84,17 +90,23 @@ def node_lifecycle(
         yield env.timeout(model.session.sample(rng) * scale)
         if rng.random() < model.depart_prob:
             overlay.depart(node_id, env.now)
+            if bus is not None:
+                bus.emit("churn.depart", node=node_id)
             return
         # An injected crash (repro.sim.faults) may have taken the node
         # offline mid-session; the guarded leave/join keep the lifecycle
         # and the crash/recovery processes from tripping over each other.
         if overlay.is_online(node_id):
             overlay.leave(node_id, env.now)
+            if bus is not None:
+                bus.emit("churn.leave", node=node_id)
         yield env.timeout(model.offtime.sample(rng))
         # The population may have shrunk below 2 while we slept; join()
         # handles the (re)wiring of neighbours if the set was never built.
         if not overlay.is_online(node_id):
             overlay.join(node_id, env.now)
+            if bus is not None:
+                bus.emit("churn.join", node=node_id)
 
 
 def churn_process(
@@ -103,6 +115,7 @@ def churn_process(
     model: ChurnModel,
     rng: np.random.Generator,
     participation_cost: float = 1.0,
+    bus: "Optional[EventBus]" = None,
 ):
     """Poisson arrival process: new nodes join and get their own lifecycle."""
     if model.arrival_rate <= 0:
@@ -115,7 +128,9 @@ def churn_process(
             participation_cost=participation_cost,
         )
         overlay.join(node.node_id, env.now)
-        env.process(node_lifecycle(env, overlay, node.node_id, model, rng))
+        if bus is not None:
+            bus.emit("churn.join", node=node.node_id, arrival=True)
+        env.process(node_lifecycle(env, overlay, node.node_id, model, rng, bus=bus))
 
 
 def start_population_churn(

@@ -116,6 +116,12 @@ class PeerNode:
     #: --- availability cache (see module docstring) ---------------------
     _avail_dirty: bool = field(default=True, repr=False)
     _avail_vector: Dict[int, float] = field(default_factory=dict, repr=False)
+    #: This thread's plain counter instance, bound once at construction —
+    #: ``availability_vector`` sits on the edge-scoring hot path and must
+    #: not pay the ``PERF`` facade's thread-local indirection per call.
+    _perf: object = field(
+        default_factory=lambda: PERF.counters, repr=False, compare=False
+    )
 
     def __post_init__(self):
         # Views supplied at construction time must notify this node's
@@ -268,9 +274,9 @@ class PeerNode:
         routing layer only ever does ``.get`` lookups on it).
         """
         if self._avail_dirty:
-            PERF.availability_cache_misses += 1
+            self._perf.availability_cache_misses += 1
             return self._refresh_availability()
-        PERF.availability_cache_hits += 1
+        self._perf.availability_cache_hits += 1
         return self._avail_vector
 
     def __repr__(self) -> str:

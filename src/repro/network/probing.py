@@ -18,12 +18,18 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.network.overlay import Overlay
+from repro.obs.events import EventBus
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Environment
 from repro.sim.faults import FaultInjector, RetryPolicy
 
 
 def _probe_alive(
-    injector: "Optional[FaultInjector]", retry: "Optional[RetryPolicy]"
+    injector: "Optional[FaultInjector]",
+    retry: "Optional[RetryPolicy]",
+    bus: "Optional[EventBus]" = None,
+    prober_id: "Optional[int]" = None,
+    neighbor: "Optional[int]" = None,
 ) -> bool:
     """One fault-aware liveness check of an *actually live* neighbour.
 
@@ -32,14 +38,22 @@ def _probe_alive(
     are sent before the neighbour is (wrongly) declared dead.  Probes are
     sub-second traffic against minute-scale periods, so retries cost no
     simulated time — only randomness and counters.
+
+    ``bus`` (when given) records each re-probe as ``probe.retry`` and the
+    final false declaration as ``probe.timeout``; ``node`` on both events
+    is the probed *neighbour*, ``prober`` in the data is the probing peer.
     """
     if injector is None or not injector.probe_times_out():
         return True
     if retry is not None:
         for _ in range(retry.max_retries):
             injector.stats.probe_retries += 1
+            if bus is not None:
+                bus.emit("probe.retry", node=neighbor, prober=prober_id)
             if not injector.probe_times_out():
                 return True
+    if bus is not None:
+        bus.emit("probe.timeout", node=neighbor, prober=prober_id)
     return False
 
 
@@ -53,6 +67,7 @@ def run_probe_round(
     discovery: "Callable[[int, tuple], Optional[int]] | None" = None,
     fault_injector: "Optional[FaultInjector]" = None,
     retry: "Optional[RetryPolicy]" = None,
+    bus: "Optional[EventBus]" = None,
 ) -> dict:
     """One probing round for one node.  Returns a small stats dict.
 
@@ -83,7 +98,9 @@ def run_probe_round(
 
     alive = dead = replaced = timed_out = 0
     for nbr_id in list(node.neighbors):
-        if overlay.is_online(nbr_id) and _probe_alive(fault_injector, retry):
+        if overlay.is_online(nbr_id) and _probe_alive(
+            fault_injector, retry, bus=bus, prober_id=node_id, neighbor=nbr_id
+        ):
             # Route the counter update through the node so its cached
             # availability normalisation is invalidated.
             node.credit_session_time(nbr_id, period, now=now)
@@ -133,6 +150,12 @@ class ActiveProber:
     #: Optional fault source (probe timeouts) and re-probe policy.
     fault_injector: "Optional[FaultInjector]" = None
     retry: "Optional[RetryPolicy]" = None
+    #: Optional observability sinks.  Per-probe "send" events would be the
+    #: chattiest channel in the system (N*d per period), so the bus gets
+    #: one aggregate ``probe.sweep`` event per period instead, and the
+    #: tracer one ``probe.sweep`` span around the whole sweep.
+    bus: "Optional[EventBus]" = None
+    tracer: object = NULL_TRACER
     rounds_run: int = 0
 
     def __post_init__(self):
@@ -143,17 +166,28 @@ class ActiveProber:
         """Generator process: probe all online nodes every ``period``."""
         while True:
             yield env.timeout(self.period)
-            if self.on_period is not None:
-                self.on_period()
-            for node_id in self.overlay.online_ids():
-                run_probe_round(
-                    self.overlay,
-                    node_id,
-                    self.period,
-                    self.rng,
-                    env.now,
-                    discovery=self.discovery,
-                    fault_injector=self.fault_injector,
-                    retry=self.retry,
-                )
+            # The sweep itself is synchronous (no yields), so it may be
+            # wrapped in one span per period.
+            with self.tracer.span("probe.sweep"):
+                if self.on_period is not None:
+                    self.on_period()
+                totals = {"alive": 0, "dead": 0, "replaced": 0, "timed_out": 0}
+                probed = 0
+                for node_id in self.overlay.online_ids():
+                    stats = run_probe_round(
+                        self.overlay,
+                        node_id,
+                        self.period,
+                        self.rng,
+                        env.now,
+                        discovery=self.discovery,
+                        fault_injector=self.fault_injector,
+                        retry=self.retry,
+                        bus=self.bus,
+                    )
+                    for key in totals:
+                        totals[key] += stats[key]
+                    probed += 1
+                if self.bus is not None:
+                    self.bus.emit("probe.sweep", probed=probed, **totals)
             self.rounds_run += 1

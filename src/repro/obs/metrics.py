@@ -1,0 +1,361 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+Naming follows the Prometheus conventions: instrument names match
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` and are prefixed ``repro_``; counters end
+in ``_total``; label names match ``[a-zA-Z_][a-zA-Z0-9_]*``.  One
+instrument owns all of its label children: ``registry.counter("x_total",
+help).labels(phase="setup").inc()``; the label-less child is the
+instrument itself.
+
+The registry holds plain data only — values, help strings, bucket
+bounds — never callables, so a populated :class:`MetricsRegistry`
+pickles cleanly across the ``REPRO_JOBS`` process-pool replicate path.
+The process-wide ``PERF`` counters and the per-run
+``DegradationCounters`` keep their attribute-increment hot-path APIs;
+:meth:`MetricsRegistry.register_counters` materialises a snapshot of
+either into registered instruments at collection time.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus` (text exposition
+format 0.0.4) and :meth:`MetricsRegistry.to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Sorted-tuple form of a label set; () is the label-less child.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    """Shared behaviour: a name, a help string, and per-label-set state."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _validate_name(name)
+        self.help = help
+
+    def _samples(self) -> "List[Tuple[str, LabelKey, float]]":
+        """(suffix, label_key, value) triples for the text exporter."""
+        raise NotImplementedError
+
+    def _json_obj(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically non-decreasing count, optionally labelled."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def labels(self, **labels: object) -> "_CounterChild":
+        return _CounterChild(self, _label_key(labels))
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _samples(self):
+        items = sorted(self._values.items()) or [((), 0.0)]
+        return [("", key, value) for key, value in items]
+
+    def _json_obj(self):
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class _CounterChild:
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey):
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        values = self._counter._values
+        values[self._key] = values.get(self._key, 0.0) + amount
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down, optionally labelled."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def labels(self, **labels: object) -> "_GaugeChild":
+        return _GaugeChild(self, _label_key(labels))
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _samples(self):
+        items = sorted(self._values.items()) or [((), 0.0)]
+        return [("", key, value) for key, value in items]
+
+    def _json_obj(self):
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "values": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+#: Default histogram buckets, tuned for sub-second wall-clock spans.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class HistogramMetric(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics), labelled.
+
+    Named with the ``Metric`` suffix to avoid clashing with the
+    streaming :class:`repro.sim.monitoring.Histogram`.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        # key -> (per-bucket counts, +Inf count, sum)
+        self._counts: Dict[LabelKey, List[float]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0.0] * len(self.buckets))
+        idx = bisect_left(self.buckets, value)
+        if idx < len(counts):
+            counts[idx] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._totals[key] = self._totals.get(key, 0.0) + 1
+
+    def count(self, **labels: object) -> float:
+        return self._totals.get(_label_key(labels), 0.0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def _samples(self):
+        samples: List[Tuple[str, LabelKey, float]] = []
+        for key in sorted(self._counts):
+            cumulative = 0.0
+            for bound, count in zip(self.buckets, self._counts[key]):
+                cumulative += count
+                samples.append(
+                    ("_bucket", key + (("le", _format_value(bound)),), cumulative)
+                )
+            samples.append(
+                ("_bucket", key + (("le", "+Inf"),), self._totals[key])
+            )
+            samples.append(("_sum", key, self._sums[key]))
+            samples.append(("_count", key, self._totals[key]))
+        return samples
+
+    def _json_obj(self):
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "values": [
+                {
+                    "labels": dict(key),
+                    "counts": list(self._counts[key]),
+                    "sum": self._sums[key],
+                    "count": self._totals[key],
+                }
+                for key in sorted(self._counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Namespace of instruments with shared exporters.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    for an existing name returns the existing instrument (a type
+    mismatch raises).
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramMetric:
+        return self._get_or_create(
+            HistogramMetric, name, help, buckets=buckets
+        )
+
+    # -- facade absorption ------------------------------------------------
+    def register_counters(
+        self,
+        prefix: str,
+        snapshot: Mapping[str, float],
+        help: str = "",
+    ) -> List[Counter]:
+        """Materialise a counter snapshot (e.g. ``PERF.snapshot()`` or
+        ``DegradationCounters.snapshot()``) as one ``_total`` counter per
+        field.  The source object keeps its attribute API — this absorbs
+        its *values* into the registry at collection time."""
+        created = []
+        for field_name, value in snapshot.items():
+            counter = self.counter(f"{prefix}_{field_name}_total", help)
+            counter._values[()] = float(value)
+            created.append(counter)
+        return created
+
+    def register_gauges(
+        self,
+        prefix: str,
+        snapshot: Mapping[str, float],
+        help: str = "",
+    ) -> List[Gauge]:
+        """Materialise a mapping of scalar readings as gauges."""
+        created = []
+        for field_name, value in snapshot.items():
+            gauge = self.gauge(f"{prefix}_{field_name}", help)
+            gauge.set(float(value))
+            created.append(gauge)
+        return created
+
+    # -- exporters --------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4), newline-terminated."""
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.metric_type}")
+            for suffix, key, value in instrument._samples():
+                lines.append(
+                    f"{name}{suffix}{_format_labels(key)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                name: self._instruments[name]._json_obj()
+                for name in self.names()
+            },
+            indent=indent,
+            sort_keys=True,
+        )

@@ -1,0 +1,111 @@
+"""Render a human-readable run report from a JSONL trace.
+
+Used by ``python -m repro obs summarize <trace.jsonl>``.  The report has
+four parts: the meta header, the top spans by cumulative wall time
+(bar chart via :func:`repro.sim.monitoring.ascii_bars`), per-subsystem
+event-count tables, and per-series round timelines (one compact line of
+round outcomes per connection series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.events import ObsEvent, RunTrace
+from repro.sim.monitoring import ascii_bars
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1e3:.2f}ms"
+
+
+def _round_marks(events: List[ObsEvent]) -> str:
+    """One character per round outcome: ``#`` formed, ``x`` failed."""
+    return "".join("#" if e.kind == "path.form" else "x" for e in events)
+
+
+def summarize_trace(
+    trace: RunTrace,
+    top_spans: int = 10,
+    max_series: Optional[int] = 12,
+) -> str:
+    """The full report as one printable string."""
+    out: List[str] = []
+
+    # -- header ----------------------------------------------------------
+    t_lo, t_hi = trace.time_range()
+    out.append("== run trace ==")
+    out.append(
+        f"events: {len(trace.events)}   spans: {len(trace.spans)}   "
+        f"sim time: {t_lo:g} .. {t_hi:g} min"
+    )
+    for key in sorted(trace.meta):
+        out.append(f"  {key}: {trace.meta[key]}")
+
+    # -- top spans by cumulative wall time -------------------------------
+    summary = trace.span_summary()
+    if summary:
+        ranked = sorted(
+            summary.items(), key=lambda kv: kv[1]["wall"], reverse=True
+        )[:top_spans]
+        out.append("")
+        out.append(f"== top spans by cumulative wall time (top {len(ranked)}) ==")
+        out.append(
+            ascii_bars(
+                [name for name, _ in ranked],
+                [round(agg["wall"] * 1e3, 3) for _, agg in ranked],
+            )
+        )
+        out.append("(bar values in milliseconds)")
+        for name, agg in ranked:
+            count = int(agg["count"])
+            mean = agg["wall"] / count if count else 0.0
+            out.append(
+                f"  {name}: n={count}  wall={_fmt_seconds(agg['wall'])}  "
+                f"mean={_fmt_seconds(mean)}  sim={agg['sim']:g} min"
+            )
+
+    # -- per-subsystem counter tables ------------------------------------
+    by_subsystem = trace.counts_by_subsystem()
+    if by_subsystem:
+        out.append("")
+        out.append("== event counts by subsystem ==")
+        for subsystem in sorted(by_subsystem):
+            kinds = by_subsystem[subsystem]
+            total = sum(kinds.values())
+            out.append(f"[{subsystem}] ({total} events)")
+            width = max(len(k) for k in kinds)
+            for kind in sorted(kinds):
+                out.append(f"  {kind.ljust(width)}  {kinds[kind]}")
+
+    # -- per-series round timelines --------------------------------------
+    timeline = trace.series_timeline()
+    if timeline:
+        out.append("")
+        out.append("== per-series round timelines (#=formed, x=failed) ==")
+        cids = sorted(timeline)
+        shown = cids if max_series is None else cids[:max_series]
+        for cid in shown:
+            events = timeline[cid]
+            formed = sum(1 for e in events if e.kind == "path.form")
+            out.append(
+                f"  cid {cid}: {_round_marks(events)}  "
+                f"({formed}/{len(events)} formed)"
+            )
+        if len(cids) > len(shown):
+            out.append(f"  ... {len(cids) - len(shown)} more series")
+
+    return "\n".join(out)
+
+
+def summarize_file(
+    path,
+    top_spans: int = 10,
+    max_series: Optional[int] = 12,
+) -> str:
+    """Load ``path`` (JSONL trace) and render its report."""
+    return summarize_trace(
+        RunTrace.read_jsonl(path), top_spans=top_spans, max_series=max_series
+    )

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.obs.events import EventBus
 from repro.payment.crypto import BlindSignatureScheme, RSAKeyPair
 from repro.payment.ledger import Ledger
 from repro.payment.tokens import Token, TokenError, WithdrawalRequest
@@ -94,6 +95,11 @@ class Bank:
     #: state — an outage never leaves a half-applied operation.  Wire it
     #: to :meth:`repro.sim.faults.FaultInjector.bank_available`.
     availability: "Optional[callable]" = field(default=None, repr=False)
+    #: Optional structured event bus: ``escrow.deposit`` on funding (the
+    #: escrow controller emits release/abort through the same bus).  Note
+    #: the events mirror what the *bank* sees — an escrow id and amounts,
+    #: never the funder's identity (the §5 unlinkability property).
+    bus: Optional[EventBus] = field(default=None, repr=False)
     ledger: Ledger = field(default_factory=Ledger)
     schemes: Dict[int, BlindSignatureScheme] = field(default_factory=dict, repr=False)
     _spent: Set[bytes] = field(default_factory=set, repr=False)
@@ -192,6 +198,10 @@ class Bank:
         if escrow_id not in self._escrows:
             self.escrows_opened += 1
         self._escrows[escrow_id] = self._escrows.get(escrow_id, 0.0) + total
+        if self.bus is not None:
+            self.bus.emit(
+                "escrow.deposit", cid=escrow_id, amount=total, n_tokens=len(tokens)
+            )
         return total
 
     def escrow_balance(self, escrow_id: int) -> float:

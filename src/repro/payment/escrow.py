@@ -98,6 +98,16 @@ class SeriesEscrow:
             paid[forwarder] = amount
         self.refund = self.bank.refund_escrow(self.escrow_id, rng=rng)
         self.settled = True
+        if self.bank.bus is not None:
+            # One summary event per settle (not one per forwarder).
+            self.bank.bus.emit(
+                "escrow.release",
+                cid=self.escrow_id,
+                paid=sum(paid.values()),
+                n_paid=len(paid),
+                rejected=len(self.rejected_claims),
+                refund=self.refund_value(),
+            )
         return paid
 
     def abort(self, rng: Optional[np.random.Generator] = None) -> List[Token]:
@@ -120,6 +130,13 @@ class SeriesEscrow:
         self.refund = self.bank.refund_escrow(self.escrow_id, rng=rng)
         self.aborted = True
         self.settled = True
+        if self.bank.bus is not None:
+            self.bank.bus.emit(
+                "escrow.abort",
+                cid=self.escrow_id,
+                voided_claims=len(self.rejected_claims),
+                refund=self.refund_value(),
+            )
         return self.refund
 
     def refund_value(self) -> float:

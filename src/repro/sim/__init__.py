@@ -33,6 +33,7 @@ from repro.sim.monitoring import (
     Histogram,
     PerfCounters,
     RunningStats,
+    ThreadLocalPerf,
     TimeSeries,
     ascii_bars,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "Histogram",
     "PERF",
     "PerfCounters",
+    "ThreadLocalPerf",
     "Interrupt",
     "RetryPolicy",
     "Process",

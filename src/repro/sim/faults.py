@@ -40,6 +40,7 @@ from typing import Callable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.events import EventBus
 from repro.sim.monitoring import DegradationCounters
 
 
@@ -247,6 +248,10 @@ class FaultInjector:
     clock: Callable[[], float] = field(default=lambda: 0.0)
     stats: DegradationCounters = field(default_factory=DegradationCounters)
     on_crash: Optional[Callable[[int], None]] = None
+    #: Optional structured event bus (``fault.*`` / ``bank.denial``
+    #: events).  Emission happens strictly *after* the RNG draw and the
+    #: counter update, so attaching a bus never changes a decision.
+    bus: Optional[EventBus] = field(default=None, repr=False)
 
     def now(self) -> float:
         return float(self.clock())
@@ -259,6 +264,10 @@ class FaultInjector:
             return False
         if float(self.rng.random()) < p:
             self.stats.messages_dropped += 1
+            if self.bus is not None:
+                # "message" (not "kind"): the event's own kind is the
+                # taxonomy string; this is the transport MessageKind.
+                self.bus.emit("fault.drop", message=kind)
             return True
         return False
 
@@ -268,7 +277,10 @@ class FaultInjector:
         if mean <= 0.0:
             return 0.0
         self.stats.messages_delayed += 1
-        return float(self.rng.exponential(mean))
+        d = float(self.rng.exponential(mean))
+        if self.bus is not None:
+            self.bus.emit("fault.delay", message=kind, delay=d)
+        return d
 
     # -- path-formation faults ---------------------------------------------
     def lose_hop(self) -> bool:
@@ -278,6 +290,8 @@ class FaultInjector:
             return False
         if float(self.rng.random()) < p:
             self.stats.hops_lost += 1
+            if self.bus is not None:
+                self.bus.emit("fault.hop_loss")
             return True
         return False
 
@@ -292,6 +306,8 @@ class FaultInjector:
             return False
         if float(self.rng.random()) < p:
             self.stats.forwarder_crashes += 1
+            if self.bus is not None:
+                self.bus.emit("fault.crash", node=node_id)
             if self.on_crash is not None and node_id is not None:
                 self.on_crash(node_id)
             return True
@@ -305,6 +321,8 @@ class FaultInjector:
             return False
         if float(self.rng.random()) < p:
             self.stats.probe_timeouts += 1
+            if self.bus is not None:
+                self.bus.emit("fault.probe_timeout")
             return True
         return False
 
@@ -315,6 +333,8 @@ class FaultInjector:
         if self.plan.bank_available_at(t):
             return True
         self.stats.bank_denials += 1
+        if self.bus is not None:
+            self.bus.emit("bank.denial", at=t)
         return False
 
     def check_bank(self, now: Optional[float] = None) -> None:

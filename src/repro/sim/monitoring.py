@@ -21,6 +21,7 @@ them, and they are exported for downstream models.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -190,15 +191,13 @@ class Histogram:
         return [c / t for c in self.counts]
 
 
-@dataclass
 class PerfCounters:
     """Cumulative hot-path counters for the edge-scoring fast path.
 
-    One process-wide instance (:data:`PERF`) is incremented by the
-    routing/history/availability layers; ``run_scenario`` snapshots the
-    delta per run so every :class:`~repro.experiments.scenario.ScenarioResult`
-    carries its own profile.  The counters are plain attribute increments
-    — cheap enough to stay on unconditionally.
+    A plain slotted object: increments are ordinary attribute operations
+    (the cheapest thing Python offers), so they stay on unconditionally
+    in the innermost routing loops.  Thread isolation lives one level up
+    in :class:`ThreadLocalPerf` — this class itself carries no locking.
 
     - ``selectivity_queries`` — indexed ``HistoryProfile.selectivity`` calls;
     - ``availability_cache_hits`` / ``availability_cache_misses`` — whether
@@ -208,17 +207,10 @@ class PerfCounters:
       ``ForwardingContext`` edge-quality cache outcomes;
     - ``edges_scored`` — edge-quality evaluations actually performed;
     - ``spne_memo_hits`` / ``spne_memo_misses`` — backward-induction subtree
-      reuse inside ``UtilityModelII`` (one shared memo per decision).
+      reuse inside ``UtilityModelII`` (one shared memo per decision);
+    - ``utility_evaluations`` — forwarder-utility function evaluations
+      (models I and II combined).
     """
-
-    selectivity_queries: int = 0
-    availability_cache_hits: int = 0
-    availability_cache_misses: int = 0
-    edge_quality_cache_hits: int = 0
-    edge_quality_cache_misses: int = 0
-    edges_scored: int = 0
-    spne_memo_hits: int = 0
-    spne_memo_misses: int = 0
 
     _FIELDS = (
         "selectivity_queries",
@@ -229,7 +221,13 @@ class PerfCounters:
         "edges_scored",
         "spne_memo_hits",
         "spne_memo_misses",
+        "utility_evaluations",
     )
+
+    __slots__ = _FIELDS
+
+    def __init__(self):
+        self.reset()
 
     def reset(self) -> None:
         for name in self._FIELDS:
@@ -247,8 +245,66 @@ class PerfCounters:
         }
 
 
-#: Process-wide counter instance used by the routing hot path.
-PERF = PerfCounters()
+class _PerfLocal(threading.local):
+    def __init__(self):
+        # threading.local calls __init__ once per accessing thread, so
+        # every thread gets its own zeroed PerfCounters.
+        self.counters = PerfCounters()
+
+
+class ThreadLocalPerf:
+    """Per-thread :class:`PerfCounters` behind one shared name.
+
+    Each thread sees (and mutates) its own counter set, so
+    ``run_scenario``'s snapshot/delta bracketing stays correct when
+    replicates run concurrently in one process (``REPRO_JOBS``
+    process-pool replicates are isolated by the fork anyway) — no lock
+    anywhere.
+
+    Direct attribute access (``PERF.edges_scored += 1``) works and is
+    always safe, but routes through ``threading.local`` on every
+    operation (~5x a plain increment).  Hot loops instead bind the
+    per-thread instance once — ``perf = PERF.counters`` at the top of a
+    round/decision, plain increments after that.  ``reset()`` zeroes the
+    per-thread instance *in place*, so held ``PERF.counters`` references
+    never go stale.  The one sharp edge: an object created on thread A
+    that caches ``PERF.counters`` and is then driven from thread B
+    writes to A's counters — exactly the shared-mutable behaviour a
+    plain global had, so nothing regresses, but in-thread construction
+    (what ``run_scenario`` does) is what yields true isolation.
+    """
+
+    __slots__ = ("_local",)
+
+    _FIELDS = PerfCounters._FIELDS
+
+    def __init__(self):
+        object.__setattr__(self, "_local", _PerfLocal())
+
+    @property
+    def counters(self) -> PerfCounters:
+        """This thread's counter instance (bind once in hot loops)."""
+        return self._local.counters
+
+    def reset(self) -> None:
+        self._local.counters.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        return self._local.counters.snapshot()
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        return self._local.counters.delta_since(before)
+
+    def __getattr__(self, name: str):
+        return getattr(self._local.counters, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(self._local.counters, name, value)
+
+
+#: Process-wide counter facade used by the routing hot path: one name,
+#: per-thread storage (see :class:`ThreadLocalPerf`).
+PERF = ThreadLocalPerf()
 
 
 @dataclass

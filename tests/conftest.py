@@ -8,7 +8,24 @@ from repro.core.costs import CostModel
 from repro.core.history import HistoryProfile
 from repro.network.overlay import Overlay
 from repro.sim.engine import Environment
+from repro.sim.monitoring import PERF
 from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture(autouse=True)
+def _isolate_perf_counters():
+    """Zero the process-wide PERF counters around every test.
+
+    PERF is a module-level singleton, so without this a test that merely
+    *runs* routing code leaks counts into a later test's snapshot/delta
+    assertions (ordering-dependent failures under ``-p no:randomly`` vs
+    shuffled runs).  Resetting on entry makes every test see a fresh
+    ledger; resetting on exit keeps half-finished counts from outliving
+    a failing test.
+    """
+    PERF.reset()
+    yield
+    PERF.reset()
 
 
 @pytest.fixture

@@ -69,6 +69,69 @@ def test_prop1_command(capsys):
     assert rc == 0  # the claim holds
 
 
+def test_run_trace_and_metrics_export(capsys, tmp_path):
+    trace_file = tmp_path / "trace.jsonl"
+    metrics_file = tmp_path / "metrics.prom"
+    rc = main(
+        [
+            "run",
+            "--nodes", "16", "--pairs", "4", "--transmissions", "24",
+            "--no-bank",
+            "--trace-out", str(trace_file),
+            "--metrics-out", str(metrics_file),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "trace:" in out and "metrics:" in out
+    assert trace_file.read_text().startswith('{"type": "meta"')
+    prom = metrics_file.read_text()
+    assert "# TYPE repro_events_total counter" in prom
+    assert "repro_phase_wall_seconds" in prom
+
+
+def test_run_metrics_json_format(tmp_path):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    rc = main(
+        [
+            "run",
+            "--nodes", "16", "--pairs", "4", "--transmissions", "24",
+            "--no-bank",
+            "--metrics-out", str(metrics_file),
+            "--metrics-format", "json",
+        ]
+    )
+    assert rc == 0
+    obj = json.loads(metrics_file.read_text())
+    assert obj["repro_perf_edges_scored_total"]["type"] == "counter"
+
+
+def test_obs_summarize_command(capsys, tmp_path):
+    trace_file = tmp_path / "trace.jsonl"
+    main(
+        [
+            "run",
+            "--nodes", "16", "--pairs", "4", "--transmissions", "24",
+            "--no-bank",
+            "--trace-out", str(trace_file),
+        ]
+    )
+    capsys.readouterr()
+    rc = main(["obs", "summarize", str(trace_file), "--max-series", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "== run trace ==" in out
+    assert "top spans by cumulative wall time" in out
+    assert "per-series round timelines" in out
+
+
+def test_obs_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["obs"])
+
+
 def test_invalid_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "9"])

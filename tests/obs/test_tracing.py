@@ -1,0 +1,90 @@
+"""Span tracer: nesting, timing, and the zero-allocation disabled path."""
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, SpanTracer
+
+
+class TestSpanTracer:
+    def test_records_completed_span(self):
+        clock = iter([1.0, 4.0])
+        tracer = SpanTracer(clock=lambda: next(clock))
+        with tracer.span("work", x=3):
+            pass
+        (s,) = tracer.spans
+        assert s.name == "work"
+        assert (s.t0, s.t1) == (1.0, 4.0)
+        assert s.attrs == {"x": 3}
+        assert s.wall >= 0.0
+        assert s.parent_id is None
+        assert s.depth == 0
+
+    def test_nesting_sets_parent_and_depth(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # completion order: innermost first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.depth == 0
+
+    def test_active_depth(self):
+        tracer = SpanTracer()
+        assert tracer.active_depth == 0
+        with tracer.span("a"):
+            assert tracer.active_depth == 1
+            with tracer.span("b"):
+                assert tracer.active_depth == 2
+        assert tracer.active_depth == 0
+
+    def test_mid_span_attributes(self):
+        tracer = SpanTracer()
+        with tracer.span("a") as span:
+            span.set(result="ok", n=2)
+        assert tracer.spans[0].attrs == {"result": "ok", "n": 2}
+
+    def test_exception_still_closes_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.spans) == 1
+        assert tracer.active_depth == 0
+
+    def test_out_of_order_exit_rejected(self):
+        tracer = SpanTracer()
+        a = tracer.span("a").__enter__()
+        tracer.span("b").__enter__()
+        with pytest.raises(RuntimeError):
+            a.__exit__(None, None, None)
+
+    def test_sim_clock_defaults_to_zero(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.spans[0].t0 == 0.0
+
+    def test_record_json_roundtrip(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", k="v"):
+                pass
+        for s in tracer.spans:
+            back = SpanRecord.from_json_obj(s.to_json_obj())
+            assert back == s
+
+
+class TestNullTracer:
+    def test_is_shared_and_inert(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.spans == ()
+        with NULL_TRACER.span("anything") as s:
+            s.set(ignored=1)
+        assert NULL_TRACER.spans == ()
+
+    def test_span_returns_shared_singleton(self):
+        # The disabled path must not allocate per call.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

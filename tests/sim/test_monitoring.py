@@ -1,9 +1,18 @@
 """Tests for online statistics and time-series monitoring."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.sim.monitoring import Histogram, RunningStats, TimeSeries, ascii_bars
+from repro.sim.monitoring import (
+    PERF,
+    Histogram,
+    PerfCounters,
+    RunningStats,
+    TimeSeries,
+    ascii_bars,
+)
 
 
 class TestRunningStats:
@@ -50,6 +59,100 @@ class TestRunningStats:
         b = RunningStats()
         b.merge(a)
         assert b.mean == 1.0
+
+    def test_merge_both_empty(self):
+        a = RunningStats()
+        a.merge(RunningStats())
+        assert a.count == 0
+        with pytest.raises(ValueError):
+            a.mean
+
+    def test_merge_is_symmetric(self):
+        rng = np.random.default_rng(2)
+        a_data, b_data = rng.normal(size=80), rng.normal(3.0, 5.0, size=13)
+        ab, ba = RunningStats(), RunningStats()
+        ab.extend(a_data)
+        other = RunningStats()
+        other.extend(b_data)
+        ab.merge(other)
+        ba.extend(b_data)
+        other2 = RunningStats()
+        other2.extend(a_data)
+        ba.merge(other2)
+        assert ab.count == ba.count
+        assert ab.mean == pytest.approx(ba.mean)
+        assert ab.variance == pytest.approx(ba.variance)
+        assert ab.min == ba.min
+        assert ab.max == ba.max
+
+    def test_merge_propagates_min_max(self):
+        a, b = RunningStats(), RunningStats()
+        a.extend([2.0, 5.0])
+        b.extend([-7.0, 3.0, 11.0])
+        a.merge(b)
+        assert a.min == -7.0
+        assert a.max == 11.0
+
+    def test_merge_single_samples(self):
+        a, b = RunningStats(), RunningStats()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+        assert a.variance == pytest.approx(2.0)  # ddof=1 over {1, 3}
+        assert (a.min, a.max) == (1.0, 3.0)
+
+    def test_merge_single_into_many(self):
+        data = [4.0, 6.0, 8.0]
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        a.extend(data)
+        b.add(100.0)
+        combined.extend(data + [100.0])
+        a.merge(b)
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.max == 100.0
+
+    def test_merge_returns_self(self):
+        a, b = RunningStats(), RunningStats()
+        a.add(1.0)
+        b.add(2.0)
+        assert a.merge(b) is a
+
+
+class TestPerfCounters:
+    def test_snapshot_delta_roundtrip(self):
+        c = PerfCounters()
+        c.edges_scored += 3
+        before = c.snapshot()
+        c.edges_scored += 2
+        c.selectivity_queries += 1
+        delta = c.delta_since(before)
+        assert delta["edges_scored"] == 2
+        assert delta["selectivity_queries"] == 1
+
+    def test_thread_isolation(self):
+        """PERF is threading.local: a worker thread's increments must not
+        bleed into the main thread's snapshot/delta arithmetic (the
+        REPRO_JOBS thread pool runs replicates concurrently)."""
+        PERF.reset()
+        before = PERF.snapshot()
+        seen_in_thread = {}
+
+        def worker():
+            # This thread gets a fresh counter set (zeros), not a view of
+            # the main thread's values.
+            seen_in_thread["initial"] = PERF.snapshot()["edges_scored"]
+            PERF.edges_scored += 1000
+            seen_in_thread["after"] = PERF.snapshot()["edges_scored"]
+
+        PERF.edges_scored += 5
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen_in_thread == {"initial": 0, "after": 1000}
+        assert PERF.delta_since(before)["edges_scored"] == 5
 
 
 class TestTimeSeries:
