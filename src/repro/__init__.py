@@ -18,19 +18,38 @@ Quickstart::
 
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 paper's figures/tables.
+
+Subpackages load lazily (PEP 562): ``import repro`` is cheap, and
+stdlib-only tooling such as ``repro.analysis`` never drags in the
+scientific stack.  ``repro.<subpackage>`` still works as an attribute
+after ``import repro``.
 """
+
+from importlib import import_module
+from typing import List
 
 __version__ = "1.0.0"
 
-from repro import adversary, core, experiments, gametheory, network, payment, sim
-
-__all__ = [
-    "__version__",
+_SUBPACKAGES = (
     "adversary",
+    "analysis",
     "core",
     "experiments",
     "gametheory",
     "network",
     "payment",
     "sim",
-]
+    "obs",
+)
+
+__all__ = ["__version__", *_SUBPACKAGES]
+
+
+def __getattr__(name: str) -> object:
+    if name in _SUBPACKAGES:
+        return import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(__all__)

@@ -1,0 +1,233 @@
+"""Shared AST helpers for the rule implementations.
+
+The determinism rules all need the same vocabulary: "is this call an RNG
+draw", "is this expression an unordered collection", "what dotted name
+does this attribute chain spell".  Centralising the heuristics keeps the
+rules short and keeps their false-positive surface documented in one
+place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Methods of ``numpy.random.Generator`` / ``random.Random`` that consume
+#: randomness.  A call ``X.m(...)`` with ``m`` in this set and an
+#: RNG-looking receiver (see :func:`is_rng_receiver`) counts as a draw.
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "choice",
+        "shuffle",
+        "integers",
+        "randint",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "sample",
+        "permutation",
+        "permuted",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "triangular",
+        "beta",
+        "gamma",
+        "lognormal",
+        "pareto",
+        "zipf",
+        "bytes",
+    }
+)
+
+#: Receiver identifiers accepted as "an RNG object".  Matching is on the
+#: *last* name component of the receiver chain (``self.rng`` -> ``rng``,
+#: ``streams["churn"]`` -> ``streams``), so helper wrappers that pass an
+#: RNG positionally are out of scope by design.
+_RNG_NAME_RE = re.compile(r"(^|_)(rng|rngs|gen|generator|stream|streams|random_state)$")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def receiver_base_name(node: ast.AST) -> Optional[str]:
+    """Last meaningful identifier of a receiver expression.
+
+    ``self.rng`` -> ``rng``; ``streams["churn"]`` -> ``streams``;
+    ``ctx.rng`` -> ``rng``; calls and literals -> None.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_rng_receiver(node: ast.AST) -> bool:
+    name = receiver_base_name(node)
+    return bool(name and _RNG_NAME_RE.search(name.lower()))
+
+
+def is_rng_draw(node: ast.AST) -> bool:
+    """True when ``node`` is a call that consumes an RNG substream."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in DRAW_METHODS
+        and is_rng_receiver(node.func.value)
+    )
+
+
+def contains_rng_draw(node: ast.AST) -> Optional[ast.Call]:
+    """First RNG draw anywhere under ``node`` (inclusive), else None."""
+    for sub in ast.walk(node):
+        if is_rng_draw(sub):
+            return sub
+    return None
+
+
+def is_unordered_expr(node: ast.AST, set_vars: Optional[Dict[str, int]] = None) -> bool:
+    """Does ``node`` evaluate to an unordered collection?
+
+    Matches set literals, set comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, ``d.values()`` / ``d.keys()`` calls (named
+    by the DET003 spec: ``dict`` iteration order is insertion order, and
+    insertion order is exactly what the convention refuses to rely on for
+    RNG consumption), set operators (``a | b`` on known sets), and names
+    recorded in ``set_vars`` (locals assigned a set-typed expression).
+    A wrapping ``sorted(...)`` is handled by the caller, which simply
+    does not recurse through it.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "keys")
+            and not node.args
+        ):
+            return True
+        # set methods returning sets: a.union(b), a.difference(b), ...
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr
+            in ("union", "difference", "intersection", "symmetric_difference")
+            and set_vars is not None
+            and _name_in(node.func.value, set_vars)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_unordered_expr(node.left, set_vars) or is_unordered_expr(
+            node.right, set_vars
+        )
+    if set_vars is not None and _name_in(node, set_vars):
+        return True
+    return False
+
+
+def _name_in(node: ast.AST, names: Dict[str, int]) -> bool:
+    return isinstance(node, ast.Name) and node.id in names
+
+
+_ORDERING_FUNCS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+
+def find_unordered_source(
+    node: ast.AST, set_vars: Optional[Dict[str, int]] = None
+) -> Optional[ast.AST]:
+    """First unordered sub-expression that actually leaks its order.
+
+    Recurses through order-preserving wrappers (``list()``, ``tuple()``,
+    starred args, comprehension iterables) but *not* through
+    order-erasing ones: ``sorted(...)`` restores determinism, and
+    aggregations (``min``/``max``/``sum``/``len``/``any``/``all``) are
+    order-insensitive.
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _ORDERING_FUNCS:
+            return None
+        if node.func.id in ("list", "tuple") and node.args:
+            return find_unordered_source(node.args[0], set_vars)
+    if is_unordered_expr(node, set_vars):
+        return node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        found = find_unordered_source(child, set_vars)
+        if found is not None:
+            return found
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Every function/method in the module as ``(qualname, node)``."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from walk(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    return walk(tree, "")
+
+
+def collect_set_vars(func: ast.AST) -> Dict[str, int]:
+    """Local names assigned an unordered expression inside ``func``.
+
+    A one-pass, flow-insensitive approximation: ``cands = set(peers)``
+    records ``cands``; later reassignment to an ordered value is not
+    tracked (rare in this codebase, and a false positive there is
+    silenced with a targeted noqa).
+    """
+    out: Dict[str, int] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and is_unordered_expr(node.value, out):
+                out[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and is_unordered_expr(node.value, out):
+                out[node.target.id] = node.lineno
+    return out
+
+
+def resolve_call_target(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
+    """Fully qualified dotted target of a call, resolved through imports.
+
+    ``pc()`` after ``from time import perf_counter as pc`` resolves to
+    ``time.perf_counter``; ``np.random.seed`` resolves to
+    ``numpy.random.seed``.
+    """
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    root = imports.get(head)
+    if root is None:
+        return name
+    return f"{root}.{rest}" if rest else root

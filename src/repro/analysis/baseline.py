@@ -1,0 +1,86 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline lets the linter land as a hard CI gate on day one: known
+pre-existing findings are recorded once (``repro lint --update-baseline``)
+and matched as a *multiset* keyed on (path, code, message) — line numbers
+are excluded so unrelated edits that shift code do not invalidate
+entries, while a genuinely new instance of an already-baselined message
+still fails (the multiset count is exceeded).
+
+Stale entries (baselined findings that no longer occur) are reported so
+the file shrinks monotonically toward empty — the shipped baseline for
+this repo *is* empty, and the goal is to keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Sequence[Dict[str, object]] = ()):
+        self.entries = list(entries)
+        self._counts: Counter = Counter(
+            (str(e["path"]), str(e["code"]), str(e["message"])) for e in self.entries
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        return cls(data.get("findings", []))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls([f.to_dict() for f in sorted(findings)])
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered repro-lint findings.  Every entry needs a "
+                "justification comment at the flagged site; regenerate with "
+                "`repro lint --update-baseline` and keep this file shrinking."
+            ),
+            "findings": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Fingerprint]]:
+        """Split findings into (new, baselined) and list stale entries.
+
+        Matching consumes baseline budget per fingerprint, so N baselined
+        occurrences admit at most N live occurrences.
+        """
+        budget = Counter(self._counts)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for f in sorted(findings):
+            if budget.get(f.fingerprint, 0) > 0:
+                budget[f.fingerprint] -= 1
+                matched.append(f)
+            else:
+                new.append(f)
+        stale = sorted(fp for fp, n in budget.items() if n > 0 for _ in range(n))
+        return new, matched, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,47 @@
+"""Finding model for the ``repro.analysis`` linter.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: the pipeline produces them, the suppression and
+baseline layers filter them, and the reporters render them.  The
+``fingerprint`` (path, code, message) intentionally excludes the line
+number so baseline entries survive unrelated edits that shift code up or
+down a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Ordering is (path, line, col, code) so reports read in file order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across line-number churn."""
+        return (self.path, self.code, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the reporter and baseline)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the text-report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

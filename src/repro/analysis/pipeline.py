@@ -1,0 +1,125 @@
+"""The lint pipeline: discover files, parse once, run every rule.
+
+``lint_paths`` is the single entry point used by the CLI, the test
+suite, and CI.  Directory arguments expand to ``**/*.py`` minus the
+default exclusions (fixture snippets intentionally violate rules);
+explicit file arguments are always linted, which is how the fixture
+tests exercise the rules on purpose-built bad files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import DEFAULT_EXCLUDED_PARTS, FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, select_rules
+from repro.analysis.reporters import LintReport
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths``, stable-sorted, exclusions applied.
+
+    Explicitly named files bypass the exclusion list; directories are
+    walked recursively.
+    """
+    out: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+            explicit = True
+        else:
+            candidates = sorted(path.rglob("*.py"))
+            explicit = False
+        for cand in candidates:
+            if not explicit and any(
+                part in DEFAULT_EXCLUDED_PARTS for part in cand.parts
+            ):
+                continue
+            key = cand.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(cand)
+    return out
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> "FileResult":
+    """Parse one file and run every rule over it."""
+    display = _display_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+        ctx = FileContext(path, source, display_path=display)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        return FileResult(display, error=f"{type(exc).__name__}: {exc}")
+    raw: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.code, finding.line):
+                suppressed.append(finding)
+            else:
+                raw.append(finding)
+    return FileResult(display, findings=raw, suppressed=suppressed)
+
+
+class FileResult:
+    """Findings (kept + suppressed) or the parse error for one file."""
+
+    def __init__(
+        self,
+        display_path: str,
+        findings: Optional[List[Finding]] = None,
+        suppressed: Optional[List[Finding]] = None,
+        error: Optional[str] = None,
+    ):
+        self.display_path = display_path
+        self.findings = findings or []
+        self.suppressed = suppressed or []
+        self.error = error
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint ``paths`` and partition results against ``baseline``."""
+    rules = select_rules(select, ignore)
+    report = LintReport()
+    all_findings: List[Finding] = []
+    for path in discover_files(paths):
+        result = lint_file(path, rules, root=root)
+        report.files_checked += 1
+        if result.error is not None:
+            report.errors.append((result.display_path, result.error))
+            continue
+        all_findings.extend(result.findings)
+        report.suppressed.extend(result.suppressed)
+    if baseline is not None:
+        report.new, report.baselined, report.stale_baseline = baseline.partition(
+            all_findings
+        )
+    else:
+        report.new = sorted(all_findings)
+    return report
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    """Repo-relative posix path when possible (stable across machines)."""
+    resolved = path.resolve()
+    for base in ([root.resolve()] if root is not None else []) + [Path.cwd()]:
+        try:
+            return resolved.relative_to(base).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()

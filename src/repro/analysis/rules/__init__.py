@@ -1,0 +1,11 @@
+"""Rule modules; importing this package registers every rule.
+
+Adding a rule: create (or extend) a module here, subclass
+:class:`repro.analysis.registry.Rule`, decorate with ``@register``, and
+import the module below.  Codes are grouped by family: ``DETxxx``
+determinism, ``ARCHxxx`` layering, ``PERFxxx`` performance conventions.
+"""
+
+from repro.analysis.rules import determinism, layering, perf
+
+__all__ = ["determinism", "layering", "perf"]

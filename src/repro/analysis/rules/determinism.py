@@ -1,0 +1,408 @@
+"""Determinism rules DET001-DET004.
+
+Every correctness claim the reproduction makes — bit-identical golden
+runs, seed+FaultPlan => identical degradation, obs-disabled runs
+identical to goldens — rests on conventions these rules mechanise:
+
+- all randomness flows through named, seeded substreams
+  (:mod:`repro.sim.rng`);
+- simulated paths read the engine clock, never the wall clock;
+- RNG draws never consume from an unordered iteration;
+- observability emissions happen strictly *after* the draws they
+  describe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.astutils import (
+    collect_set_vars,
+    contains_rng_draw,
+    find_unordered_source,
+    is_rng_draw,
+    iter_functions,
+    receiver_base_name,
+    resolve_call_target,
+)
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Packages whose runtime behaviour feeds simulation results.  The obs
+#: layer (SpanTracer wall timings) and the experiment harness (phase
+#: timings, reports) are deliberately outside: their wall-clock use is
+#: observational and determinism-neutral by construction.
+SIM_SCOPES = (
+    "repro.sim",
+    "repro.core",
+    "repro.network",
+    "repro.payment",
+    "repro.gametheory",
+)
+
+#: ``random`` module-level functions that mutate/consume the process-wide
+#: global state.  ``random.Random(seed)`` instances are fine.
+_STDLIB_GLOBAL_DRAWS = frozenset(
+    {
+        "seed",
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "getrandbits",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "lognormvariate",
+    }
+)
+
+#: ``numpy.random`` module-level (legacy global ``RandomState``) API.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "get_state",
+        "set_state",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _in_sim_scope(module: str) -> bool:
+    return any(
+        module == scope or module.startswith(scope + ".") for scope in SIM_SCOPES
+    )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET001: module-level or unseeded RNG use outside ``repro.sim.rng``."""
+
+    code = "DET001"
+    name = "unseeded-random"
+    rationale = (
+        "All randomness must flow through named, seeded substreams "
+        "(repro.sim.rng.RandomStreams) so components stay statistically "
+        "decoupled and every run replays from its seed.  Global-state "
+        "draws (random.*, numpy.random.*) and unseeded generators "
+        "(default_rng(), random.Random()) make results depend on import "
+        "order, test order, and process history."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.sim.rng":
+            return
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            msg = self._violation(target, node)
+            if msg:
+                yield self.finding(ctx, node, msg)
+
+    def _violation(self, target: str, node: ast.Call) -> Optional[str]:
+        mod, _, attr = target.rpartition(".")
+        if mod == "random" and attr in _STDLIB_GLOBAL_DRAWS:
+            return (
+                f"global-state draw random.{attr}(); use a seeded "
+                "RandomStreams substream (or random.Random(seed) in tests)"
+            )
+        if target == "random.SystemRandom":
+            return "random.SystemRandom is nondeterministic by design"
+        if mod == "numpy.random" and attr in _NUMPY_GLOBAL_DRAWS:
+            return (
+                f"global-state draw numpy.random.{attr}(); use a seeded "
+                "Generator from repro.sim.rng.RandomStreams"
+            )
+        if target in ("numpy.random.default_rng", "random.Random"):
+            if not node.args and not node.keywords:
+                return (
+                    f"unseeded {target}(); pass an explicit seed or derive "
+                    "from a RandomStreams substream"
+                )
+        return None
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: wall-clock reads inside deterministic simulation paths."""
+
+    code = "DET002"
+    name = "wall-clock-in-sim-path"
+    rationale = (
+        "Simulated time comes from the discrete-event engine clock "
+        "(Environment.now); wall-clock reads in sim/core/network/payment/"
+        "gametheory paths leak host timing into results and break "
+        "bit-identical replays.  Wall-time measurement belongs to the obs "
+        "layer: wrap the region in a SpanTracer span instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_sim_scope(ctx.module):
+            return
+        imports = ctx.imports
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {target}() in deterministic path "
+                    f"{ctx.module}; route through the engine clock "
+                    "(Environment.now) or a SpanTracer span",
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003: unordered collection feeding an RNG draw."""
+
+    code = "DET003"
+    name = "unordered-iteration-feeds-rng"
+    rationale = (
+        "set/dict iteration order is an implementation detail (hash "
+        "seeding, insertion history); letting it select *which* element "
+        "an RNG draw picks — or *how many* draws run before a shared "
+        "stream is consumed elsewhere — silently changes replays.  Sort "
+        "first (sorted(...)), then draw."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes: List[Tuple[str, ast.AST]] = [("<module>", ctx.tree)]
+        scopes.extend(iter_functions(ctx.tree))
+        for qual, func in scopes:
+            set_vars = collect_set_vars(func)
+            yield from self._check_scope(ctx, qual, func, set_vars)
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        qual: str,
+        func: ast.AST,
+        set_vars: Dict[str, int],
+    ) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes are visited by iter_functions
+            for sub in _walk_skip_functions(node):
+                if is_rng_draw(sub):
+                    assert isinstance(sub, ast.Call)
+                    source = None
+                    for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                        source = find_unordered_source(arg, set_vars)
+                        if source is not None:
+                            break
+                    if source is not None:
+                        yield self.finding(
+                            ctx,
+                            sub,
+                            f"RNG draw in {qual} consumes an unordered "
+                            f"{_describe(source)}; sort before drawing "
+                            "(e.g. rng.choice(sorted(candidates)))",
+                        )
+                elif isinstance(sub, ast.For):
+                    source = find_unordered_source(sub.iter, set_vars)
+                    if source is None:
+                        continue
+                    draw = contains_rng_draw(sub)
+                    if draw is not None:
+                        yield self.finding(
+                            ctx,
+                            sub,
+                            f"loop in {qual} iterates an unordered "
+                            f"{_describe(source)} and draws from an RNG "
+                            f"(line {draw.lineno}); iterate sorted(...) so "
+                            "draw order is reproducible",
+                        )
+
+
+@register
+class EmitBeforeDrawRule(Rule):
+    """DET004: obs emission precedes the RNG draw it describes."""
+
+    code = "DET004"
+    name = "emit-before-draw"
+    rationale = (
+        "The obs layer is determinism-neutral because events are emitted "
+        "strictly after the draws they describe: the event then carries "
+        "the decided outcome, and toggling obs on/off cannot reorder or "
+        "interleave with stream consumption.  An emit() ahead of a draw "
+        "in the same block describes a decision that has not happened yet."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro."):
+            return
+        for qual, func in iter_functions(ctx.tree):
+            body = getattr(func, "body", None)
+            if body:
+                yield from self._check_block(ctx, qual, body, None)
+
+    def _check_block(
+        self,
+        ctx: FileContext,
+        qual: str,
+        stmts: List[ast.stmt],
+        ancestor_draw: Optional[ast.Call],
+    ) -> Iterator[Finding]:
+        """Check one statement list.
+
+        ``ancestor_draw`` is a draw that runs *after* this whole block in
+        an enclosing block (so an emit anywhere here still precedes it).
+        Emits are collected at each statement's own level only — the
+        header of a compound statement, or the whole of a simple one;
+        nested blocks are handled by recursion with the ancestor flag.
+        A draw earlier in the same loop body does not trip the rule:
+        cross-iteration order (emit of round *i* before the draw of round
+        *i+1*) is exactly the allowed convention.
+        """
+        # Draws anywhere under each statement (index -> first draw).
+        subtree_draws: List[Tuple[int, ast.Call]] = []
+        for idx, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are checked via iter_functions
+            for sub in _walk_skip_functions(stmt):
+                if is_rng_draw(sub):
+                    subtree_draws.append((idx, sub))
+
+        def first_draw_after(idx: int) -> Optional[ast.Call]:
+            for j, draw in subtree_draws:
+                if j > idx:
+                    return draw
+            return ancestor_draw
+
+        for idx, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            draw = first_draw_after(idx)
+            if draw is not None:
+                for sub in _walk_own_level(stmt):
+                    if _is_bus_emit(sub):
+                        yield self.finding(
+                            ctx,
+                            sub,
+                            f"emit() in {qual} precedes an RNG draw at line "
+                            f"{draw.lineno}; emit strictly after the draw "
+                            "it describes",
+                        )
+            for child_block in _child_blocks(stmt):
+                yield from self._check_block(ctx, qual, child_block, draw)
+
+
+def _is_bus_emit(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr != "emit":
+        return False
+    base = receiver_base_name(node.func.value)
+    return bool(base and "bus" in base.lower())
+
+
+def _walk_skip_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield from _walk_skip_functions(child)
+
+
+def _walk_own_level(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The parts of a statement executed *at its block position*.
+
+    For compound statements that is only the header (``if`` test, ``for``
+    iterable, ``with`` items, ...); their bodies belong to nested blocks
+    and are visited by the block recursion.  Simple statements are walked
+    whole (minus nested scopes).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from _walk_skip_functions(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from _walk_skip_functions(stmt.target)
+        yield from _walk_skip_functions(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from _walk_skip_functions(item.context_expr)
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, ast.Match):
+        yield from _walk_skip_functions(stmt.subject)
+    else:
+        yield from _walk_skip_functions(stmt)
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    """Nested statement lists of a compound statement (if/for/with/try)."""
+    blocks: List[List[ast.stmt]] = []
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field, None)
+        if block and isinstance(block[0], ast.stmt):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    for case in getattr(stmt, "cases", []) or []:
+        blocks.append(case.body)
+    return blocks
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal/comprehension"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return f"{node.func.id}(...) result"
+        if isinstance(node.func, ast.Attribute):
+            return f".{node.func.attr}() view"
+    if isinstance(node, ast.Name):
+        return f"set-typed local {node.id!r}"
+    return "collection"

@@ -43,7 +43,7 @@ class Contract:
     routing_benefit: float
     payload_size: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.forwarding_benefit < 0:
             raise ValueError(f"negative P_f: {self.forwarding_benefit}")
         if self.routing_benefit < 0:

@@ -35,7 +35,7 @@ class CostModel:
     bandwidth: Optional[BandwidthModel] = None
     flat_unit_cost: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.flat_unit_cost < 0:
             raise ValueError(f"negative flat_unit_cost {self.flat_unit_cost}")
 

@@ -96,7 +96,7 @@ class CidRotator:
     epoch: int
     _base: int = field(init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.epoch < 1:
             raise ValueError(f"epoch must be >= 1, got {self.epoch}")
         # 2**20 epochs per series is far beyond any run length.

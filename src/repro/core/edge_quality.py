@@ -24,7 +24,7 @@ class QualityWeights:
     selectivity: float = 0.5
     availability: float = 0.5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.selectivity <= 1.0 or not 0.0 <= self.availability <= 1.0:
             raise ValueError(
                 f"weights must be in [0,1]: ({self.selectivity}, {self.availability})"

@@ -46,7 +46,7 @@ class HistoryRecord:
     predecessor: int
     successor: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.round_index < 1:
             raise ValueError(f"round_index must be >= 1, got {self.round_index}")
 
@@ -80,7 +80,7 @@ class HistoryProfile:
         default_factory=lambda: PERF.counters, repr=False, compare=False
     )
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {self.capacity}")
         # A profile constructed with pre-existing records (e.g. by a

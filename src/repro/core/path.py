@@ -21,7 +21,7 @@ class PathFailure(Exception):
     Proposition 1 reasons about).
     """
 
-    def __init__(self, reason: str, reformations: int = 0):
+    def __init__(self, reason: str, reformations: int = 0) -> None:
         super().__init__(reason)
         self.reason = reason
         self.reformations = reformations
@@ -38,7 +38,7 @@ class Path:
     #: Forwarders in hop order (excludes initiator and responder).
     forwarders: Tuple[int, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.initiator == self.responder:
             raise ValueError("initiator and responder must differ")
         if self.round_index < 1:

@@ -27,7 +27,7 @@ reformation**.  After ``max_attempts`` reformations the round fails.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -36,11 +36,17 @@ from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights
 from repro.core.history import HistoryProfile
 from repro.core.path import Path, PathFailure, SeriesLog
-from repro.core.routing import ForwardingContext, RandomRouting, RoutingStrategy
+from repro.core.routing import (
+    ForwardingContext,
+    RandomRouting,
+    RoutingStrategy,
+    _null_tracer,
+)
 from repro.network.overlay import Overlay
-from repro.obs.events import EventBus
-from repro.obs.tracing import NULL_TRACER
 from repro.sim.faults import FaultInjector, FaultPlan, RetryPolicy
+
+if TYPE_CHECKING:  # lazy: core stays loadable without the obs layer (ARCH001)
+    from repro.obs.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -138,16 +144,16 @@ class PathBuilder:
     #: Optional structured event bus: ``path.form`` / ``path.reform`` /
     #: ``path.fail`` per round.  Events carry the *wire* cid the builder
     #: was called with (what an on-path observer sees under cid rotation).
-    bus: Optional[EventBus] = field(default=None, repr=False)
+    bus: Optional["EventBus"] = field(default=None, repr=False)
     #: Span tracer for ``path.build`` (one span per round built); shared
     #: with every :class:`ForwardingContext` the builder creates.
-    tracer: object = field(default=NULL_TRACER, repr=False)
+    tracer: object = field(default_factory=_null_tracer, repr=False)
     #: Cumulative reformation count across all rounds built.
     reformations: int = 0
     #: Hops lost to failure injection.
     hops_lost: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {self.loss_probability}"
@@ -372,7 +378,7 @@ class ConnectionSeries:
     log: SeriesLog = field(init=False)
     _round: int = field(default=0, init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.log = SeriesLog(
             cid=self.cid, initiator=self.initiator, responder=self.responder
         )

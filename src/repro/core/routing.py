@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -35,8 +35,16 @@ from repro.core.history import HistoryProfile
 from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay
-from repro.obs.tracing import NULL_TRACER
 from repro.sim.monitoring import PERF
+
+
+def _null_tracer() -> object:
+    # Deferred: core stays loadable without the obs layer (ARCH001).  The
+    # shared NULL_TRACER singleton is returned, so identity semantics are
+    # unchanged from the old module-scope default.
+    from repro.obs.tracing import NULL_TRACER
+
+    return NULL_TRACER
 
 
 @dataclass
@@ -72,7 +80,7 @@ class ForwardingContext:
     #: Span tracer for decision-level timing (``spne.decide``).  Defaults
     #: to the shared no-op tracer, so uninstrumented constructors and the
     #: routing hot path pay only a no-op ``with`` block.
-    tracer: object = field(default=NULL_TRACER, repr=False)
+    tracer: object = field(default_factory=_null_tracer, repr=False)
     #: This thread's plain counter instance, bound once at construction.
     #: Hot methods increment through this (or a local alias) rather than
     #: the ``PERF`` facade, which pays thread-local indirection per access.
@@ -301,7 +309,7 @@ class UtilityModelII(RoutingStrategy):
     name = "utility-II"
     participation_threshold: float = 0.0
 
-    def __init__(self, lookahead: int = 2):
+    def __init__(self, lookahead: int = 2) -> None:
         if lookahead < 1:
             raise ValueError(f"lookahead must be >= 1, got {lookahead}")
         self.lookahead = lookahead
@@ -401,7 +409,7 @@ class UtilityModelII(RoutingStrategy):
             return best[2]
 
 
-def strategy_by_name(name: str, **kwargs) -> RoutingStrategy:
+def strategy_by_name(name: str, **kwargs: Any) -> RoutingStrategy:
     """Factory used by configs: 'random' | 'utility-I' | 'utility-II'."""
     table = {
         "random": RandomRouting,

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.path import Path
 from repro.payment.crypto import RSAKeyPair
 
 
@@ -183,7 +184,7 @@ def validate_confirmation(
 
 
 def confirm_and_validate_path(
-    path,
+    path: Path,
     ephemeral: RSAKeyPair,
     rng: np.random.Generator,
 ) -> ValidationResult:

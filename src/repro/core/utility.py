@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from repro.core.contracts import Contract
 
@@ -84,7 +85,7 @@ def initiator_utility(
     )
 
 
-def entropy_anonymity_degree(probabilities) -> float:
+def entropy_anonymity_degree(probabilities: Sequence[float]) -> float:
     """Degree of anonymity: normalised Shannon entropy of suspicion.
 
     Standard Diaz/Serjantov metric used to quantify ``A(.)`` empirically:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 #: Wire protocol version; bumped on incompatible layout changes.
 WIRE_VERSION = 1
@@ -206,7 +206,10 @@ class ClaimSubmission:
         return cls(cid=cid, forwarder=forwarder, instances=instances)
 
 
-def decode_any(data: bytes):
+WireMessage = Union[ContractOffer, ForwardRequest, ConfirmationEnvelope, ClaimSubmission]
+
+
+def decode_any(data: bytes) -> WireMessage:
     """Dispatch on the header's message type."""
     if len(data) < _HEADER.size:
         raise WireError("truncated header")

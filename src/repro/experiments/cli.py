@@ -8,7 +8,10 @@ Subcommands:
 - ``table 2`` — regenerate Table 2 (with the paper's printed values);
 - ``prop 1`` — the Proposition 1 reformation experiment;
 - ``obs summarize <trace.jsonl>`` — render a run report from an exported
-  trace (top spans, per-subsystem event tables, round timelines).
+  trace (top spans, per-subsystem event tables, round timelines);
+- ``lint`` — the determinism & layering static analyser
+  (:mod:`repro.analysis`); also available dependency-free as
+  ``python -m repro.analysis``.
 
 Scale is selected with ``--preset quick|paper`` and ``--seeds N``.
 """
@@ -115,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how many span names to chart (by cumulative wall time)")
     sum_p.add_argument("--max-series", type=int, default=12,
                        help="how many per-series round timelines to render")
+
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism & layering linter (repro.analysis)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
 
     return parser
 
@@ -269,6 +279,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -279,5 +295,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "prop": _cmd_prop,
         "suite": _cmd_suite,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -28,7 +28,7 @@ class RandomStreams:
     order-independent.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         if not isinstance(seed, (int, np.integer)):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self.seed = int(seed)

@@ -1,0 +1,16 @@
+"""ARCH001 fixture: layering violations from the core layer."""
+
+from typing import TYPE_CHECKING
+
+import repro.obs.tracing  # ARCH001: obs at module scope from core
+from repro.experiments.config import ExperimentConfig  # ARCH001: harness from core
+from repro.obs.events import EventBus  # ARCH001: obs at module scope from core
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry  # ok: typing-only
+
+
+def lazy_ok():
+    from repro.obs.tracing import NULL_TRACER  # ok: deferred to use site
+
+    return NULL_TRACER

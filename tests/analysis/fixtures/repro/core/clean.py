@@ -1,0 +1,17 @@
+"""Negative fixture: idiomatic code that trips no rule."""
+
+from typing import Dict, List
+
+
+def pick(rng, candidates: List[int]) -> int:
+    return int(rng.choice(sorted(candidates)))
+
+
+def weights_by_node(rng, table: Dict[int, float]) -> Dict[int, float]:
+    return {nid: table[nid] * rng.random() for nid in sorted(table)}
+
+
+def announce(bus, rng) -> float:
+    x = float(rng.random())
+    bus.emit("value", x=x)
+    return x

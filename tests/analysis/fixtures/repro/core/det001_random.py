@@ -1,0 +1,29 @@
+"""DET001 fixture: global-state and unseeded RNG use (module scope repro.core)."""
+
+import random
+
+import numpy as np
+
+
+def global_draw():
+    return random.random()  # DET001: process-global stream
+
+
+def global_seed():
+    np.random.seed(0)  # DET001: mutates the legacy global RandomState
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # DET001: entropy-seeded, unreplayable
+
+
+def unseeded_stdlib():
+    return random.Random()  # DET001: entropy-seeded, unreplayable
+
+
+def seeded_generator_ok():
+    return np.random.default_rng(42)
+
+
+def seeded_stdlib_ok():
+    return random.Random(7)

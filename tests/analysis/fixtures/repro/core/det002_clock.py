@@ -1,0 +1,21 @@
+"""DET002 fixture: wall-clock reads in a deterministic path (repro.core)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    return time.time()  # DET002
+
+
+def tick():
+    return pc()  # DET002: aliased perf_counter
+
+
+def today():
+    return datetime.now()  # DET002
+
+
+def sim_time_ok(env):
+    return env.now  # engine clock: the sanctioned time source

@@ -1,0 +1,33 @@
+"""DET003 fixture: unordered iteration feeding RNG draws (repro.core)."""
+
+
+def draw_from_set_literal(rng):
+    return rng.choice(list({1, 2, 3}))  # DET003
+
+
+def draw_from_tracked_local(rng, peers):
+    cands = set(peers)
+    return rng.choice(list(cands))  # DET003: local holds a set
+
+
+def loop_over_values(rng, table):
+    total = 0.0
+    for _row in table.values():  # DET003: draw consumed per unordered item
+        total += rng.random()
+    return total
+
+
+def draw_sorted_ok(rng, peers):
+    cands = set(peers)
+    return rng.choice(sorted(cands))
+
+
+def loop_sorted_ok(rng, table):
+    total = 0.0
+    for _key in sorted(table.keys()):
+        total += rng.random()
+    return total
+
+
+def aggregate_ok(rng, peers):
+    return rng.random() * len(set(peers))  # order-insensitive aggregate

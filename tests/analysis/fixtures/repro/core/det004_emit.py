@@ -1,0 +1,26 @@
+"""DET004 fixture: obs emission preceding the RNG draw it describes."""
+
+
+def emit_then_draw(bus, rng):
+    bus.emit("round.start")  # DET004: describes a decision not yet made
+    return rng.random()
+
+
+def emit_in_branch_before_draw(bus, rng):
+    if bus is not None:
+        bus.emit("round.start")  # DET004: a draw follows in the outer block
+    return rng.integers(0, 10)
+
+
+def draw_then_emit_ok(bus, rng):
+    x = rng.random()
+    bus.emit("round.done", value=x)
+    return x
+
+
+def per_round_ok(bus, rng, n):
+    # Cross-iteration order (this round's emit before next round's draw)
+    # is the sanctioned convention.
+    for i in range(n):
+        x = rng.random()
+        bus.emit("round", i=i, x=x)

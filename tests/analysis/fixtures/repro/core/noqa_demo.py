@@ -1,0 +1,15 @@
+"""Suppression fixture: inline noqa silences specific or all rules."""
+
+import time
+
+
+def stamp_suppressed_specific():
+    return time.time()  # repro: noqa-DET002
+
+
+def stamp_suppressed_all():
+    return time.time()  # repro: noqa
+
+
+def stamp_wrong_code_still_fires():
+    return time.time()  # repro: noqa-DET001

@@ -1,0 +1,25 @@
+"""PERF001 fixture: thread-local facade access inside loops."""
+
+import threading
+
+from repro.sim.monitoring import PERF
+
+_tls = threading.local()
+
+
+def hot_loop(items):
+    for _item in items:
+        PERF.edges_scored += 1  # PERF001: facade lookup per iteration
+    return len(items)
+
+
+def direct_local_in_loop(xs):
+    for x in xs:
+        _tls.count = x  # PERF001: threading.local instance in loop
+
+
+def prebound_ok(items):
+    perf = PERF.counters  # bind the per-thread object once
+    for _item in items:
+        perf.edges_scored += 1
+    return perf.edges_scored

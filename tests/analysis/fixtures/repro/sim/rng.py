@@ -1,0 +1,20 @@
+"""ARCH001 fixture: the determinism root must stay stateless.
+
+This file lints under the module name ``repro.sim.rng`` (the path anchors
+at the ``repro`` component), so the stateless-root restriction applies.
+"""
+
+import os  # ARCH001: stateful import in the determinism root
+
+import numpy as np  # ok
+from typing import Dict  # ok
+
+
+def entropy_dir() -> str:
+    return os.fspath(".")
+
+
+def make(seed: int) -> "np.random.Generator":
+    table: Dict[int, int] = {}
+    table[seed] = seed
+    return np.random.default_rng(seed)

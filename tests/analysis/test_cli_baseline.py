@@ -1,0 +1,140 @@
+"""CLI, baseline-workflow, and reporter tests for ``repro lint``."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, lint_paths
+from repro.analysis.cli import main as lint_main
+
+DIRTY = textwrap.dedent(
+    """\
+    import time
+
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def write_module(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, "repro/core/ok.py", "X = 1\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_finding_exits_one_with_location(self, tmp_path, capsys):
+        write_module(tmp_path, "repro/core/bad.py", DIRTY)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:5" in out and "DET002" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        write_module(tmp_path, "repro/core/bad.py", DIRTY)
+        assert lint_main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["per_code"] == {"DET002": 1}
+        (finding,) = payload["findings"]
+        assert finding["code"] == "DET002" and finding["line"] == 5
+
+    def test_select_and_ignore(self, tmp_path):
+        write_module(tmp_path, "repro/core/bad.py", DIRTY)
+        args = [str(tmp_path), "--no-baseline"]
+        assert lint_main(args + ["--select", "DET001"]) == 0
+        assert lint_main(args + ["--ignore", "DET002"]) == 0
+        assert lint_main(args + ["--select", "DET002"]) == 1
+
+    def test_unknown_rule_code_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "DET999"]) == 2
+        assert "DET999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET004", "ARCH001", "PERF001"):
+            assert code in out
+
+    def test_syntax_error_reported_not_crash(self, tmp_path, capsys):
+        write_module(tmp_path, "repro/core/broken.py", "def f(:\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        assert "SyntaxError" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean_then_regress(self, tmp_path, capsys):
+        bad = write_module(tmp_path, "repro/core/bad.py", DIRTY)
+        baseline = tmp_path / "lint-baseline.json"
+        args = [str(tmp_path), "--baseline", str(baseline)]
+
+        # 1. Grandfather the existing finding.
+        assert lint_main(args + ["--update-baseline"]) == 0
+        assert baseline.exists()
+
+        # 2. Same tree now lints clean against the baseline.
+        assert lint_main(args) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # 3. A second violation is new and fails the run...
+        bad.write_text(DIRTY + "\n\ndef again():\n    return time.time()\n")
+        assert lint_main(args) == 1
+
+        # 4. ...and fixing the file entirely reports the stale entry.
+        bad.write_text("X = 1\n")
+        capsys.readouterr()
+        assert lint_main(args) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_baseline_matches_on_fingerprint_not_line(self, tmp_path):
+        bad = write_module(tmp_path, "repro/core/bad.py", DIRTY)
+        baseline = tmp_path / "b.json"
+        args = [str(tmp_path), "--baseline", str(baseline)]
+        assert lint_main(args + ["--update-baseline"]) == 0
+        # Shift the violation down: still the same grandfathered finding.
+        bad.write_text("# padding\n# padding\n" + DIRTY)
+        assert lint_main(args) == 0
+
+    def test_missing_explicit_baseline_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--baseline", str(tmp_path / "no.json")]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_partition_budget_is_a_multiset(self, tmp_path):
+        # Two identical-fingerprint findings, one baselined slot: one stays new.
+        src = "import time\na = time.time()\nb = time.time()\n"
+        path = write_module(tmp_path, "repro/core/two.py", src)
+        report = lint_paths([path], root=tmp_path)
+        assert len(report.new) == 2
+        baseline = Baseline.from_findings(report.new[:1])
+        report2 = lint_paths([path], baseline=baseline, root=tmp_path)
+        assert len(report2.new) == 1 and len(report2.baselined) == 1
+
+
+class TestEntryPoints:
+    @pytest.mark.parametrize("module", ["repro.analysis", "repro"])
+    def test_python_dash_m(self, module, tmp_path):
+        write_module(tmp_path, "repro/core/ok.py", "X = 1\n")
+        argv = [sys.executable, "-m", module]
+        if module == "repro":
+            argv.append("lint")
+        argv += [str(tmp_path), "--no-baseline"]
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, cwd=Path(__file__).parents[2]
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0 findings" in proc.stdout

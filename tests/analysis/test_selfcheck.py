@@ -1,0 +1,90 @@
+"""Self-check lane: the shipped tree lints clean, and seeded mutations fail.
+
+The mutation test is the linter's acceptance gate: a scratch copy of
+``routing.py`` gets a wall-clock read and an unordered-set draw injected
+at known lines, and the lint run must exit non-zero pointing at exactly
+those lines.  That proves the rules fire on real production code, not
+just on hand-built fixtures.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def run_lint(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+@pytest.mark.lint
+def test_shipped_tree_is_clean_against_committed_baseline():
+    proc = run_lint(str(SRC), str(REPO_ROOT / "tests"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.lint
+def test_committed_baseline_is_empty():
+    # The whole point of satellite 1: no grandfathered findings ship.
+    import json
+
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert baseline["version"] == 1
+    assert baseline["findings"] == []
+
+
+@pytest.mark.lint
+def test_seeded_mutation_is_caught(tmp_path):
+    # Copy routing.py into a scratch repro/core/ tree (so it lints under its
+    # real module name), append a function with a wall-clock read (DET002)
+    # and a draw over a set literal (DET003), and demand findings at exactly
+    # the injected lines.
+    original = SRC / "repro" / "core" / "routing.py"
+    source = original.read_text()
+    base_len = source.count("\n")
+
+    poison = (
+        "\n\ndef _mutated_probe(rng):\n"
+        "    import time\n"
+        "    t0 = time.time()\n"
+        "    pick = rng.choice(list({1, 2, 3}))\n"
+        "    return t0, pick\n"
+    )
+    # The file ends in a newline, so poison's two leading "\n" are blank
+    # lines base_len+1/+2, def is +3, import +4, time.time() +5, draw +6.
+    wall_clock_line = base_len + 5
+    set_draw_line = base_len + 6
+
+    scratch = tmp_path / "repro" / "core"
+    scratch.mkdir(parents=True)
+    target = scratch / "routing.py"
+    target.write_text(source + poison)
+
+    proc = run_lint(str(target), "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert f"routing.py:{wall_clock_line}" in proc.stdout
+    assert f"routing.py:{set_draw_line}" in proc.stdout
+    assert "DET002" in proc.stdout
+    assert "DET003" in proc.stdout
+
+
+@pytest.mark.lint
+def test_unmutated_copy_of_same_file_is_clean(tmp_path):
+    # Control for the mutation test: the pristine copy lints clean, so the
+    # failures above are attributable to the injected lines alone.
+    original = SRC / "repro" / "core" / "routing.py"
+    scratch = tmp_path / "repro" / "core"
+    scratch.mkdir(parents=True)
+    shutil.copy(original, scratch / "routing.py")
+    proc = run_lint(str(scratch / "routing.py"), "--no-baseline")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -28,9 +28,11 @@ def make_world(seed, n=14, degree=4, rounds_of_history=6):
     ov = Overlay(rng=rng, degree=degree)
     ov.bootstrap(n)
     histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
-    # Random probe counters and some recorded history rounds.
-    for node in ov.nodes.values():
-        for view in node.neighbors.values():
+    # Random probe counters and some recorded history rounds.  Iteration
+    # is sorted so the draw order feeding session times is reproducible
+    # independently of dict insertion history (DET003).
+    for _, node in sorted(ov.nodes.items()):
+        for _, view in sorted(node.neighbors.items()):
             view.session_time = float(rng.uniform(0.0, 60.0))
     for nid, h in histories.items():
         nbrs = ov.nodes[nid].neighbor_ids()
