@@ -1,35 +1,85 @@
 #!/usr/bin/env python
-"""Compare a pytest-benchmark JSON report against a stored baseline and
-fail on regressions.
+"""Compare a benchmark report against a stored baseline, compact reports
+to a stats-only schema, and maintain the repo-root trajectory file.
 
 Usage::
 
-    REPRO_BENCH_JSON=BENCH_routing.json \
+    REPRO_BENCH_JSON=/tmp/bench.json \
         python -m pytest benchmarks/test_perf_routing_hotpath.py benchmarks/test_perf_scenario.py
-    python benchmarks/compare_bench.py BENCH_routing.json \
-        --baseline benchmarks/BENCH_routing.baseline.json --threshold 0.20
+    python benchmarks/compare_bench.py /tmp/bench.json \
+        --baseline benchmarks/BENCH_routing.baseline.json --threshold 0.20 \
+        --compact-out benchmarks/BENCH_routing.baseline.json \
+        --trajectory BENCH_routing.json
+
+Reports are accepted in either format:
+
+- the full pytest-benchmark JSON (per-round ``data`` arrays, ~1 MB), or
+- the compact schema this script writes (summary stats only, a few KB),
+  recognisable by ``"schema": "repro-bench/compact-v1"``.
+
+``--compact-out`` re-writes the report in the compact schema (this is
+how the committed baseline is produced).  ``--trajectory`` merges the
+compact snapshot into a history file keyed by commit id, so the repo
+root carries a small per-commit record of hot-path timings.
 
 Exit status 1 if any benchmark shared with the baseline is more than
-``threshold`` slower (by mean time).  Benchmarks present on only one side
-are reported but never fail the gate (machines differ; the baseline is
-refreshed whenever the hot path intentionally changes).
+``threshold`` slower (by mean time).  Benchmarks present on only one
+side are reported but never fail the gate (machines differ; the
+baseline is refreshed whenever the hot path intentionally changes).
+``--no-gate`` skips the comparison (e.g. when only compacting).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
+from typing import Dict
+
+COMPACT_SCHEMA = "repro-bench/compact-v1"
+TRAJECTORY_SCHEMA = "repro-bench/trajectory-v1"
+
+#: Summary statistics carried into the compact schema (the full report's
+#: per-round ``data`` arrays are what make it two orders of magnitude
+#: larger, and nothing downstream reads them).
+_KEPT_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
 
 
-def load_means(path: Path) -> dict:
-    """benchmark fullname -> mean seconds."""
-    data = json.loads(path.read_text())
-    return {b["fullname"]: b["stats"]["mean"] for b in data["benchmarks"]}
+def load_report(path: Path) -> dict:
+    """Parse either report format into the compact representation."""
+    return to_compact(json.loads(path.read_text()))
 
 
-def compare(current: dict, baseline: dict, threshold: float) -> int:
+def to_compact(data: dict) -> dict:
+    """Compact form of a report (idempotent on already-compact input)."""
+    if data.get("schema") == COMPACT_SCHEMA:
+        return data
+    machine = data.get("machine_info", {})
+    cpu = machine.get("cpu", {})
+    return {
+        "schema": COMPACT_SCHEMA,
+        "commit": (data.get("commit_info") or {}).get("id"),
+        "datetime": data.get("datetime"),
+        "machine": {
+            "python_version": machine.get("python_version"),
+            "cpu": cpu.get("brand_raw"),
+            "count": cpu.get("count"),
+        },
+        "benchmarks": {
+            b["fullname"]: {k: b["stats"][k] for k in _KEPT_STATS}
+            for b in data["benchmarks"]
+        },
+    }
+
+
+def means(report: dict) -> Dict[str, float]:
+    """benchmark fullname -> mean seconds (from a compact report)."""
+    return {name: stats["mean"] for name, stats in report["benchmarks"].items()}
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, float], threshold: float) -> int:
     regressions = []
     width = max((len(n) for n in current), default=0)
     for name in sorted(current):
@@ -66,9 +116,51 @@ def compare(current: dict, baseline: dict, threshold: float) -> int:
     return 0
 
 
+def resolve_commit(report: dict) -> str:
+    """Commit id for the trajectory key: the report's own, else git HEAD."""
+    if report.get("commit"):
+        return str(report["commit"])[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).parent,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def update_trajectory(path: Path, report: dict) -> None:
+    """Merge ``report`` into the trajectory file under its commit id.
+
+    Re-running on the same commit overwrites that commit's entry, so the
+    file stays one snapshot per commit (mean seconds per benchmark).
+    """
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+        if trajectory.get("schema") != TRAJECTORY_SCHEMA:
+            raise SystemExit(f"{path} is not a {TRAJECTORY_SCHEMA} file")
+    else:
+        trajectory = {"schema": TRAJECTORY_SCHEMA, "runs": {}}
+    commit = resolve_commit(report)
+    trajectory["runs"][commit] = {
+        "datetime": report.get("datetime"),
+        "machine": report.get("machine"),
+        "benchmarks": {
+            name: round(stats["mean"], 9)
+            for name, stats in sorted(report["benchmarks"].items())
+        },
+    }
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=False) + "\n")
+    print(f"trajectory: recorded {commit} in {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", type=Path, help="pytest-benchmark JSON report")
+    parser.add_argument("report", type=Path, help="benchmark JSON report (either format)")
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -81,16 +173,43 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed slowdown fraction before failing (default 0.20 = +20%%)",
     )
+    parser.add_argument(
+        "--compact-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report in the compact stats-only schema to PATH",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="merge the report into this trajectory file, keyed by commit",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the baseline comparison (compact/trajectory only)",
+    )
     args = parser.parse_args(argv)
     if not args.report.exists():
         print(f"report not found: {args.report}", file=sys.stderr)
         return 2
+    report = load_report(args.report)
+    if args.compact_out is not None:
+        args.compact_out.write_text(
+            json.dumps(report, indent=2, sort_keys=False) + "\n"
+        )
+        print(f"compact report written to {args.compact_out}")
+    if args.trajectory is not None:
+        update_trajectory(args.trajectory, report)
+    if args.no_gate:
+        return 0
     if not args.baseline.exists():
         print(f"baseline not found: {args.baseline}", file=sys.stderr)
         return 2
-    return compare(
-        load_means(args.report), load_means(args.baseline), args.threshold
-    )
+    return compare(means(report), means(load_report(args.baseline)), args.threshold)
 
 
 if __name__ == "__main__":

@@ -1,15 +1,23 @@
-"""Microbenchmarks for the edge-scoring hot path.
+"""Microbenchmarks for the edge-scoring hot path, on both backends.
 
-These isolate the three fast-path layers the scenario throughput
-benchmark exercises end-to-end: indexed selectivity on history-heavy
-profiles, Model I edge scoring, and Model II backward induction with the
-shared SPNE memo (lookahead 2 and 3).  Each timed call builds a *fresh*
-``ForwardingContext``, so the numbers reflect a round's first decision
-(cold per-round caches) rather than repeated cache hits.
+These isolate the fast-path layers the scenario throughput benchmark
+exercises end-to-end: indexed selectivity on history-heavy profiles,
+Model I edge scoring, and Model II backward induction (lookahead 2 and
+3).  Each timed call builds a *fresh* ``ForwardingContext``, so the
+numbers reflect a round's first decision (cold per-round caches) rather
+than repeated cache hits.
+
+The decision benchmarks run once per scoring backend: ``python`` (the
+scalar reference with its selectivity/availability/SPNE-memo caches) and
+``numpy`` (the batched kernels of :mod:`repro.core.kernels`).  The numpy
+variants share one module-scoped :class:`WorldArrays` across contexts —
+exactly how ``PathBuilder`` amortises it across rounds — so they measure
+the steady state, not a CSR rebuild per decision.
 
 Run with ``REPRO_BENCH_JSON=BENCH_routing.json`` to emit the
 machine-readable report that ``benchmarks/compare_bench.py`` gates
-against ``benchmarks/BENCH_routing.baseline.json``.
+against ``benchmarks/BENCH_routing.baseline.json`` (and can compact /
+append to the repo-root trajectory file).
 """
 
 import numpy as np
@@ -19,6 +27,7 @@ from repro.core.contracts import Contract
 from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights
 from repro.core.history import HistoryProfile
+from repro.core.kernels import BACKENDS, WorldArrays
 from repro.core.routing import ForwardingContext, UtilityModelI, UtilityModelII
 from repro.network.overlay import Overlay
 
@@ -34,8 +43,8 @@ def world():
     ov = Overlay(rng=rng, degree=DEGREE)
     ov.bootstrap(N_NODES)
     histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
-    for node in ov.nodes.values():
-        for view in node.neighbors.values():
+    for _, node in sorted(ov.nodes.items()):
+        for _, view in sorted(node.neighbors.items()):
             view.session_time = float(rng.uniform(1.0, 120.0))
     for nid, h in histories.items():
         nbrs = ov.nodes[nid].neighbor_ids()
@@ -49,7 +58,14 @@ def world():
     return ov, histories
 
 
-def fresh_context(ov, histories):
+@pytest.fixture(scope="module")
+def arrays(world):
+    """One CSR world shared by every numpy-backend context."""
+    ov, _ = world
+    return WorldArrays(ov)
+
+
+def fresh_context(ov, histories, backend="python", world_arrays=None):
     return ForwardingContext(
         cid=1,
         round_index=LATE_ROUND,
@@ -60,6 +76,8 @@ def fresh_context(ov, histories):
         histories=histories,
         rng=np.random.default_rng(1),
         weights=QualityWeights(),
+        backend=backend,
+        world=world_arrays,
     )
 
 
@@ -79,39 +97,50 @@ def test_perf_selectivity_history_heavy(benchmark, world):
     assert benchmark(query_block) > 0.0
 
 
-def test_perf_model1_decision(benchmark, world):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_perf_model1_decision(benchmark, world, arrays, backend):
     ov, histories = world
     strat = UtilityModelI()
     node = ov.nodes[0]
+    shared = arrays if backend == "numpy" else None
 
     def decide():
-        return strat.select_next_hop(node, None, fresh_context(ov, histories))
+        return strat.select_next_hop(
+            node, None, fresh_context(ov, histories, backend, shared)
+        )
 
     assert benchmark(decide) in node.neighbors
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("lookahead", [2, 3])
-def test_perf_model2_decision(benchmark, world, lookahead):
-    """Shared-memo backward induction, cold caches each call."""
+def test_perf_model2_decision(benchmark, world, arrays, lookahead, backend):
+    """Backward induction, cold per-context caches each call."""
     ov, histories = world
     strat = UtilityModelII(lookahead=lookahead)
     node = ov.nodes[0]
+    shared = arrays if backend == "numpy" else None
 
     def decide():
-        return strat.select_next_hop(node, None, fresh_context(ov, histories))
+        return strat.select_next_hop(
+            node, None, fresh_context(ov, histories, backend, shared)
+        )
 
     assert benchmark(decide) in node.neighbors
 
 
-def test_perf_model2_decision_warm_round(benchmark, world):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_perf_model2_decision_warm_round(benchmark, world, arrays, backend):
     """All hops of a round share one context: after the first decision the
-    scored-candidate and quality caches serve the rest of the path."""
+    per-round caches (scored candidates, quality slices) serve the rest
+    of the path."""
     ov, histories = world
     strat = UtilityModelII(lookahead=2)
     start = ov.nodes[0]
+    shared = arrays if backend == "numpy" else None
 
     def route_three_hops():
-        ctx = fresh_context(ov, histories)
+        ctx = fresh_context(ov, histories, backend, shared)
         node, pred = start, None
         last = None
         for _ in range(3):

@@ -1,13 +1,24 @@
-"""PERF001: thread-local attribute access inside loops.
+"""Performance rules: PERF001 (thread-local in loop), PERF002 (Python
+loop over a numpy array).
 
-``repro.sim.monitoring.PERF`` is a ``threading.local``-backed facade: an
-attribute access costs ~5x a plain increment because it routes through
-the per-thread lookup every time.  The hot-path convention (established
-when the routing hot path was profiled) is to prebind the per-thread
-instance once — ``perf = PERF.counters`` — before the loop and increment
-through the plain object inside it.  This rule flags the regression the
-prebinding fixed: facade attribute access (read or write) lexically
-inside a loop body.
+PERF001 — ``repro.sim.monitoring.PERF`` is a ``threading.local``-backed
+facade: an attribute access costs ~5x a plain increment because it
+routes through the per-thread lookup every time.  The hot-path
+convention (established when the routing hot path was profiled) is to
+prebind the per-thread instance once — ``perf = PERF.counters`` — before
+the loop and increment through the plain object inside it.  This rule
+flags the regression the prebinding fixed: facade attribute access (read
+or write) lexically inside a loop body.
+
+PERF002 — iterating a numpy array element by element from Python
+(``for x in arr`` or ``arr[i]`` with a loop index) pays a boxed
+``np.float64`` allocation per element and defeats the point of holding
+the data in an array.  The vectorised-kernel convention
+(:mod:`repro.core.kernels`) is: batch the operation as array
+expressions, or — when per-element Python work is genuinely required,
+e.g. the RNG-ordered cost loop — convert once with ``.tolist()`` and
+loop over native objects.  Scoped to ``repro.core`` / ``repro.network``,
+the layers that hold hot-path arrays.
 """
 
 from __future__ import annotations
@@ -101,6 +112,165 @@ class ThreadLocalInLoopRule(Rule):
             return False
         full = f"{resolved}.{rest}" if rest else resolved
         return full == _PERF_QUALNAME
+
+
+@register
+class NumpyElementLoopRule(Rule):
+    """PERF002: per-element Python iteration over a numpy array."""
+
+    code = "PERF002"
+    name = "python-loop-over-array"
+    rationale = (
+        "a Python-level loop over a numpy array boxes every element into "
+        "a fresh np.float64 and round-trips the interpreter per item — "
+        "the exact overhead the array representation exists to avoid.  "
+        "Batch the work as vectorised array expressions (see "
+        "repro.core.kernels); when per-element Python work is required "
+        "(e.g. an RNG-ordered draw sequence), convert once with "
+        ".tolist() and iterate native objects."
+    )
+
+    #: Layers that hold hot-path arrays; experiment/reporting code may
+    #: iterate small result arrays without it mattering.
+    _SCOPES = ("repro.core.", "repro.network.")
+
+    #: Methods that leave array-land: their results are native objects,
+    #: so names assigned from them are exempt (and assigning through
+    #: ``.tolist()`` is exactly the sanctioned fix).
+    _UNTAINT_METHODS = frozenset({"tolist", "item", "tobytes"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self._SCOPES):
+            return
+        if not any(v == "numpy" or v.startswith("numpy.") for v in ctx.imports.values()):
+            return
+        tainted = self._array_names(ctx)
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, tainted, loop_vars=set(), out=findings)
+        yield from findings
+
+    # -- taint collection -------------------------------------------------
+    def _array_names(self, ctx: FileContext) -> Set[str]:
+        """Names assigned (anywhere in the file) from a numpy call.
+
+        Flow-insensitive: one numpy-producing assignment taints the name
+        for the whole file; one ``.tolist()`` / ``.item()`` assignment
+        untaints it again.  Parameters and attribute chains are not
+        tracked — a heuristic with a small, noqa-able false surface.
+        """
+        tainted: Set[str] = set()
+        untainted: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if self._is_numpy_call(ctx, node.value):
+                tainted.add(target.id)
+            elif (
+                isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr in self._UNTAINT_METHODS
+            ):
+                untainted.add(target.id)
+        return tainted - untainted
+
+    def _is_numpy_call(self, ctx: FileContext, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = dotted_name(value.func)
+        if name is None:
+            return False
+        head, _, rest = name.partition(".")
+        resolved = ctx.imports.get(head)
+        if resolved is None:
+            return False
+        full = f"{resolved}.{rest}" if rest else resolved
+        return full == "numpy" or full.startswith("numpy.")
+
+    # -- traversal --------------------------------------------------------
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        tainted: Set[str],
+        loop_vars: Set[str],
+        out: List[Finding],
+    ) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_iterable(ctx, node.iter, tainted, out)
+            self._visit(ctx, node.iter, tainted, loop_vars, out)
+            inner = loop_vars | self._target_names(node.target)
+            for stmt in list(node.body) + list(node.orelse):
+                self._visit(ctx, stmt, tainted, inner, out)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            inner = set(loop_vars)
+            for comp in node.generators:
+                self._check_iterable(ctx, comp.iter, tainted, out)
+                self._visit(ctx, comp.iter, tainted, inner, out)
+                inner = inner | self._target_names(comp.target)
+                for cond in comp.ifs:
+                    self._visit(ctx, cond, tainted, inner, out)
+            elts = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            for elt in elts:
+                self._visit(ctx, elt, tainted, inner, out)
+            return
+        if isinstance(node, ast.Subscript) and loop_vars:
+            base, idx = node.value, node.slice
+            if (
+                isinstance(base, ast.Name)
+                and base.id in tainted
+                and isinstance(idx, ast.Name)
+                and idx.id in loop_vars
+            ):
+                out.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"scalar element access {base.id}[{idx.id}] per loop "
+                        "iteration; vectorise the loop body or convert once "
+                        f"with {base.id}.tolist()",
+                    )
+                )
+                return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Loop variables do not leak into a nested function's body.
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for stmt in body:
+                self._visit(ctx, stmt, tainted, set(), out)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, tainted, loop_vars, out)
+
+    def _check_iterable(
+        self, ctx: FileContext, iterable: ast.expr, tainted: Set[str], out: List[Finding]
+    ) -> None:
+        is_array = (
+            isinstance(iterable, ast.Name) and iterable.id in tainted
+        ) or self._is_numpy_call(ctx, iterable)
+        if is_array:
+            shown = dotted_name(iterable) or "array"
+            out.append(
+                self.finding(
+                    ctx,
+                    iterable,
+                    f"element-wise Python iteration over numpy array "
+                    f"{shown}; vectorise the loop body or convert once "
+                    "with .tolist()",
+                )
+            )
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Set[str]:
+        return {
+            n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+        }
 
 
 def _thread_local_names(ctx: FileContext) -> Set[str]:

@@ -79,6 +79,11 @@ class HistoryProfile:
     _perf: object = field(
         default_factory=lambda: PERF.counters, repr=False, compare=False
     )
+    #: Monotonic change counter: advances on every :meth:`record` (which
+    #: covers eviction) and :meth:`forget_series`.  Array-backed views
+    #: (:class:`repro.core.kernels.WorldArrays`) compare a remembered
+    #: value against this to invalidate derived selectivity arrays.
+    version: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -120,6 +125,7 @@ class HistoryProfile:
         bucket = self._records.setdefault(cid, [])
         bucket.append(rec)
         self._index_add(rec)
+        self.version += 1
         if self.capacity is not None and len(bucket) > self.capacity:
             evicted = bucket[0 : len(bucket) - self.capacity]
             del bucket[0 : len(bucket) - self.capacity]
@@ -163,6 +169,37 @@ class HistoryProfile:
         # Entries strictly before the current round (never peek ahead).
         hits = bisect_left(rounds, round_index)
         return min(1.0, hits / max_entries)
+
+    def selectivity_hits_block(
+        self,
+        cid: int,
+        successors: List[int],
+        round_index: int,
+    ) -> List[int]:
+        """Matching-entry counts for a whole candidate block, one bisect
+        per successor — the batched form of :meth:`selectivity`'s numerator
+        (predecessor-unconditioned; position-aware scoring stays on the
+        scalar path).
+
+        Returns raw hit counts (not ratios) so the caller can normalise
+        the whole block in one vectorised division.  Counts only entries
+        strictly before ``round_index``, exactly like :meth:`selectivity`.
+        The result order matches ``successors``.  One counter bump covers
+        the block (per-edge queries are what ``selectivity_queries``
+        measures on the scalar path; the batched path reports through the
+        kernel counters instead).
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        edge = self._edge_rounds.get(cid)
+        if not edge or round_index == 1:
+            return [0] * len(successors)
+        get = edge.get
+        out = []
+        for succ in successors:
+            rounds = get(succ)
+            out.append(bisect_left(rounds, round_index) if rounds else 0)
+        return out
 
     def selectivity_naive(
         self,
@@ -209,6 +246,7 @@ class HistoryProfile:
         self._records.pop(cid, None)
         self._edge_rounds.pop(cid, None)
         self._pos_rounds.pop(cid, None)
+        self.version += 1
 
     # -- attack surface (§5(3)) -----------------------------------------
     def observed_edges(self) -> List[Tuple[int, int, int]]:

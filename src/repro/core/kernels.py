@@ -1,0 +1,634 @@
+"""Array-backed scoring kernels: the ``numpy`` routing backend.
+
+The scalar strategies in :mod:`repro.core.routing` walk Python data
+structures edge by edge — dict lookups, per-candidate ``bisect`` calls,
+a recursive backward induction.  This module re-expresses the same
+decisions over flat arrays so the per-candidate work becomes a handful
+of vectorised kernels:
+
+- :class:`WorldArrays` — a struct-of-arrays (CSR) view of the overlay
+  topology plus per-edge availability, shared by every round a
+  :class:`~repro.core.protocol.PathBuilder` builds.  It is kept
+  *incrementally* consistent: nodes and the overlay expose monotonic
+  version counters (``neighbors_version``, ``availability_version``,
+  ``liveness_version``) and the arrays are rebuilt or patched only when
+  a remembered version no longer matches.
+- :class:`KernelView` — the per-:class:`ForwardingContext` slice of
+  derived state: the per-edge quality vector ``q_flat`` for the current
+  ``(cid, round)``, liveness masks, and the level-batched SPNE value
+  tables for Utility Model II.
+- ``KernelView.decide_model1`` / ``decide_model2`` — batched
+  replacements for the scalar ``select_next_hop`` bodies.
+
+**Bit-identity contract.**  The numpy backend must make *exactly* the
+routing decisions the scalar backend makes — same hop choices, same
+paths, same ``ScenarioResult`` — so either backend can serve as the
+reference for the other.  Three rules keep the float streams and the
+RNG stream aligned:
+
+1. *Same scalar inputs.*  Availability values are read from each node's
+   cached ``availability_vector()`` normalisation (never re-summed with
+   numpy's pairwise summation); selectivity hit counts come from the
+   same sorted-round-index bisects the scalar path uses
+   (:meth:`HistoryProfile.selectivity_hits_block`).
+2. *Same float expressions.*  Every arithmetic step mirrors the scalar
+   expression tree op for op (``w_s*sigma + w_a*alpha`` then clamp;
+   ``(q + tail_sum + 1.0) / (tail_n + 2)``; …) — numpy's float64 ufuncs
+   round identically to CPython floats, so equal expressions give equal
+   bits.
+3. *Same RNG order.*  The only RNG consumer on the scoring path is the
+   lazy per-link bandwidth draw inside ``CostModel.decision_cost``.
+   Cost vectors are therefore computed by a plain Python loop over the
+   candidate ids in scalar candidate order, only for top-level
+   decisions — never eagerly, never batched — so first-use draws happen
+   at exactly the same points of the run.
+
+**Backward induction as edge states.**  A memo state of the scalar
+Model II recursion is ``(node, predecessor, depth)``; since the
+predecessor is always the node that forwarded here, the reachable
+states at each depth are exactly the *directed edges* of the overlay.
+The induction therefore runs level-synchronously over one flat array of
+per-(state, child) entries: gather the previous level's values through
+``st_child_edge``, form candidate means, and reduce per state with
+``np.maximum.reduceat`` (first-maximum index via a positional
+``np.minimum.reduceat``), reproducing the scalar loop's strict-``>``
+first-winner tie behaviour.
+
+**Snapshot semantics.**  Quality, availability and topology are
+snapshotted per ``(context, round)`` — the same contract the scalar
+caches document (histories commit after the round; probe counters
+advance between rounds).  Liveness is snapshotted per formation
+*attempt*: ``ForwardingContext.begin_attempt`` observes
+``Overlay.liveness_version`` so a mid-round crash (fault injection)
+refreshes the candidate world for the next attempt on both backends.
+
+Position-aware selectivity conditions ``sigma`` on the upstream hop,
+which breaks the one-value-per-edge layout; contexts with
+``position_aware_selectivity=True`` stay on the scalar path (the
+dispatch sites in :mod:`repro.core.routing` guard this).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.monitoring import PERF
+
+if TYPE_CHECKING:  # typing only: no runtime dependency on the upper layers
+    from repro.core.routing import ForwardingContext
+    from repro.network.overlay import Overlay
+
+
+#: Recognised backend names, in preference-documentation order.
+BACKENDS: Tuple[str, ...] = ("python", "numpy")
+
+#: Environment variable consulted by :func:`default_backend`.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it is a known backend, else raise ``ValueError``."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {list(BACKENDS)}"
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The process-wide default backend: ``$REPRO_BACKEND`` or ``python``.
+
+    The scalar backend stays the default — it is the executable
+    specification; the numpy backend is the performance twin that the
+    differential suite holds bit-identical to it.
+    """
+    value = os.environ.get(BACKEND_ENV, "").strip()
+    if not value:
+        return "python"
+    return validate_backend(value)
+
+
+class WorldArrays:
+    """Struct-of-arrays view of the overlay, shared across rounds.
+
+    Layout (all arrays are index-aligned on the *directed edge* axis;
+    ``indptr`` is indexed by node id, so edge ``e`` with
+    ``indptr[u] <= e < indptr[u+1]`` is the edge ``u -> nbr_flat[e]``,
+    neighbours sorted ascending — the scalar candidate order):
+
+    ``indptr``         CSR row pointers per node id.
+    ``nbr_flat``       Edge head (neighbour id) per edge.
+    ``owner_flat``     Edge tail (owning node id) per edge.
+    ``alpha_flat``     Cached availability ``alpha(owner -> head)``.
+
+    SPNE structure (state ``e`` = edge, i.e. "standing at ``head(e)``
+    having arrived from ``owner(e)``"; its children are the CSR entries
+    of ``head(e)``):
+
+    ``st_counts``         Children per state.
+    ``st_red_idx``        Segment starts for ``reduceat`` (clipped).
+    ``st_child_edge``     Flat child -> edge index gather table.
+    ``st_child_not_pred`` Per child: head differs from the state's
+                          predecessor (the no-backtracking filter).
+    ``child_pos``         ``arange`` over the flat child axis.
+
+    Invalidation: :meth:`ensure_fresh` rebuilds the topology (and bumps
+    ``generation``) when any node's ``neighbors_version`` moved or the
+    node population changed, and re-patches per-node ``alpha_flat``
+    slices whose ``availability_version`` moved.  Liveness is *not*
+    stored here — it changes mid-round under fault injection and is
+    masked per :class:`KernelView`.
+    """
+
+    def __init__(self, overlay: "Overlay") -> None:
+        self.overlay = overlay
+        #: Bumped on every topology rebuild; views compare against it.
+        self.generation = 0
+        self.size = 0
+        self.n_edges = 0
+        self.indptr: Optional[np.ndarray] = None
+        self.nbr_flat = np.zeros(0, dtype=np.int64)
+        self.owner_flat = np.zeros(0, dtype=np.int64)
+        self.alpha_flat = np.zeros(0, dtype=np.float64)
+        self.nbr_lists: Dict[int, List[int]] = {}
+        self.st_counts = np.zeros(0, dtype=np.int64)
+        self.st_red_idx = np.zeros(0, dtype=np.int64)
+        self.st_child_edge = np.zeros(0, dtype=np.int64)
+        self.st_child_not_pred = np.zeros(0, dtype=bool)
+        self.child_pos = np.zeros(0, dtype=np.int64)
+        self._nbr_versions: Dict[int, int] = {}
+        self._alpha_versions: Dict[int, int] = {}
+        self._perf = PERF.counters
+
+    # -- freshness ---------------------------------------------------------
+    def ensure_fresh(self) -> None:
+        """Bring topology and availability arrays up to date (cheap when
+        nothing changed: one version compare per node)."""
+        if self._topology_stale():
+            self._rebuild_topology()
+        self._refresh_alpha()
+
+    def _topology_stale(self) -> bool:
+        if self.indptr is None:
+            return True
+        nodes = self.overlay.nodes
+        vers = self._nbr_versions
+        if len(nodes) != len(vers):
+            return True
+        get = vers.get
+        for nid, node in nodes.items():
+            if get(nid) != node.neighbors_version:
+                return True
+        return False
+
+    def _rebuild_topology(self) -> None:
+        nodes = self.overlay.nodes
+        ids = sorted(nodes)
+        nbr_lists: Dict[int, List[int]] = {}
+        vers: Dict[int, int] = {}
+        max_ref = ids[-1] if ids else -1
+        for nid in ids:
+            node = nodes[nid]
+            lst = sorted(node.neighbors)
+            nbr_lists[nid] = lst
+            vers[nid] = node.neighbors_version
+            if lst and lst[-1] > max_ref:
+                max_ref = lst[-1]
+        size = max_ref + 1
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        for nid, lst in nbr_lists.items():
+            indptr[nid + 1] = len(lst)
+        np.cumsum(indptr, out=indptr)
+        n_edges = int(indptr[-1]) if size else 0
+        # nbr_lists iterates in ascending-id insertion order and absent
+        # ids contribute empty segments, so concatenating the lists IS
+        # the CSR payload.
+        nbr_flat = np.fromiter(
+            (j for lst in nbr_lists.values() for j in lst),
+            dtype=np.int64,
+            count=n_edges,
+        )
+        deg = np.diff(indptr)
+        owner_flat = np.repeat(np.arange(size, dtype=np.int64), deg)
+
+        self.size = size
+        self.n_edges = n_edges
+        self.indptr = indptr
+        self.nbr_flat = nbr_flat
+        self.owner_flat = owner_flat
+        self.nbr_lists = nbr_lists
+        self._nbr_versions = vers
+        self._build_state_structure()
+        # Alpha slices are laid out per edge; a new layout means every
+        # slice must be re-read.
+        self.alpha_flat = np.zeros(n_edges, dtype=np.float64)
+        self._alpha_versions = {}
+        self.generation += 1
+        self._perf.array_rebuilds += 1
+
+    def _build_state_structure(self) -> None:
+        """Derive the SPNE gather tables from the CSR (pure topology)."""
+        assert self.indptr is not None
+        if self.n_edges == 0:
+            self.st_counts = np.zeros(0, dtype=np.int64)
+            self.st_red_idx = np.zeros(0, dtype=np.int64)
+            self.st_child_edge = np.zeros(0, dtype=np.int64)
+            self.st_child_not_pred = np.zeros(0, dtype=bool)
+            self.child_pos = np.zeros(0, dtype=np.int64)
+            return
+        deg = np.diff(self.indptr)
+        head = self.nbr_flat
+        st_counts = deg[head]
+        offsets = np.concatenate(
+            ([0], np.cumsum(st_counts))
+        ).astype(np.int64, copy=False)
+        total = int(offsets[-1])
+        self.st_counts = st_counts
+        # reduceat needs in-bounds starts; empty trailing segments are
+        # clipped here and their garbage results overwritten by the dead
+        # mask downstream.
+        self.st_red_idx = np.minimum(offsets[:-1], max(total - 1, 0))
+        if total == 0:
+            self.st_child_edge = np.zeros(0, dtype=np.int64)
+            self.st_child_not_pred = np.zeros(0, dtype=bool)
+            self.child_pos = np.zeros(0, dtype=np.int64)
+            return
+        # Segmented arange: child c of state e maps to CSR entry
+        # indptr[head(e)] + (c's rank within the segment).
+        pos = np.arange(total, dtype=np.int64)
+        rank = pos - np.repeat(offsets[:-1], st_counts)
+        child_edge = np.repeat(self.indptr[head], st_counts) + rank
+        child_ids = self.nbr_flat[child_edge]
+        pred_rep = np.repeat(self.owner_flat, st_counts)
+        self.st_child_edge = child_edge
+        self.st_child_not_pred = child_ids != pred_rep
+        self.child_pos = pos
+
+    def _refresh_alpha(self) -> None:
+        nodes = self.overlay.nodes
+        avers = self._alpha_versions
+        starts = self.indptr.tolist()
+        alpha = self.alpha_flat
+        touched = False
+        for nid, lst in self.nbr_lists.items():
+            node = nodes[nid]
+            ver = node.availability_version
+            if avers.get(nid) == ver:
+                continue
+            if lst:
+                # Read the node's own cached normalisation: these are the
+                # exact floats the scalar backend scores with (re-summing
+                # in numpy would round differently).
+                av = node.availability_vector()
+                start = starts[nid]
+                alpha[start : start + len(lst)] = [av[j] for j in lst]
+            avers[nid] = ver
+            touched = True
+        if touched:
+            self._perf.array_rebuilds += 1
+
+
+class KernelView:
+    """Per-context derived arrays + the batched decision procedures.
+
+    Owns three epochs of derived state, each invalidated independently:
+
+    - quality (``q_flat``): per ``(cid, round_index)`` — rebuilt lazily
+      per node on the next decision after the key changes (Model I
+      touches only the deciding node's slice; Model II fills all);
+    - liveness (``valid0_flat``/``st_valid``/``st_dead`` and the cost
+      cache): per ``Overlay.liveness_version``;
+    - SPNE value tables (``_levels_*``): dependent on both, cleared when
+      either moves.
+    """
+
+    __slots__ = (
+        "world",
+        "context",
+        "q_flat",
+        "valid0_flat",
+        "st_valid",
+        "st_dead",
+        "_q_built",
+        "_q_all",
+        "_q_key",
+        "_liveness_stamp",
+        "_levels_sum",
+        "_levels_n",
+        "_cost_cache",
+        "_world_gen",
+        "_perf",
+    )
+
+    def __init__(self, world: WorldArrays, context: "ForwardingContext") -> None:
+        self.world = world
+        self.context = context
+        self._perf = context.perf
+        world.ensure_fresh()
+        self._world_gen = world.generation
+        self._reset_for_world()
+
+    def _reset_for_world(self) -> None:
+        world = self.world
+        self.q_flat = np.zeros(world.n_edges, dtype=np.float64)
+        self._q_built = np.zeros(world.size, dtype=bool)
+        self._q_all = world.n_edges == 0
+        self._q_key: Optional[Tuple[int, int]] = None
+        self._liveness_stamp: Optional[int] = None
+        self.valid0_flat = np.zeros(0, dtype=bool)
+        self.st_valid: Optional[np.ndarray] = None
+        self.st_dead: Optional[np.ndarray] = None
+        self._levels_sum: Optional[List[np.ndarray]] = None
+        self._levels_n: Optional[List[np.ndarray]] = None
+        self._cost_cache: Dict[Tuple[int, Optional[int]], np.ndarray] = {}
+
+    # -- epoch synchronisation --------------------------------------------
+    def _sync(self, node_id: int) -> None:
+        """Cheap per-decision staleness checks (two compares on the hot
+        path; the expensive rebuilds only run when an epoch moved)."""
+        world = self.world
+        context = self.context
+        if world.indptr is None or node_id + 1 >= world.indptr.size:
+            world.ensure_fresh()
+        key = (context.cid, context.round_index)
+        if key != self._q_key:
+            # New round (or a test mutated the context in place): probe
+            # counters and neighbour sets may have advanced since the
+            # last round — re-validate the shared arrays, then drop the
+            # round-scoped quality state.
+            world.ensure_fresh()
+            if world.generation != self._world_gen:
+                self._world_gen = world.generation
+                self._reset_for_world()
+            else:
+                self._q_built[:] = False
+                self._q_all = world.n_edges == 0
+                self._levels_sum = None
+                self._levels_n = None
+            self._q_key = key
+        if world.generation != self._world_gen:
+            self._world_gen = world.generation
+            self._reset_for_world()
+            self._q_key = key
+        stamp = context.overlay.liveness_version
+        if stamp != self._liveness_stamp:
+            self._rebuild_liveness(stamp)
+
+    def _rebuild_liveness(self, stamp: int) -> None:
+        world = self.world
+        context = self.context
+        nbr = world.nbr_flat
+        online = context.overlay.online_mask(world.size)
+        self.valid0_flat = online[nbr] & (nbr != context.responder)
+        # State-level (SPNE) validity is derived lazily: Model I
+        # decisions never touch it, and it is ~branching-factor times
+        # larger than the edge axis.
+        self.st_valid = None
+        self.st_dead = None
+        self._levels_sum = None
+        self._levels_n = None
+        self._cost_cache.clear()
+        self._liveness_stamp = stamp
+        perf = self._perf
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += int(nbr.size)
+
+    def _ensure_state_valid(self) -> None:
+        if self.st_valid is not None:
+            return
+        world = self.world
+        if world.st_child_edge.size:
+            v0c = self.valid0_flat[world.st_child_edge]
+            not_pred = v0c & world.st_child_not_pred
+            # Scalar fallback rule, per state: exclude the predecessor
+            # unless that empties the candidate set.
+            has_alt = np.logical_or.reduceat(not_pred, world.st_red_idx)
+            use_filtered = np.repeat(has_alt, world.st_counts)
+            self.st_valid = np.where(use_filtered, not_pred, v0c)
+            has_any = np.logical_or.reduceat(self.st_valid, world.st_red_idx)
+            has_any[world.st_counts == 0] = False
+            self.st_dead = ~has_any
+        else:
+            self.st_valid = np.zeros(0, dtype=bool)
+            self.st_dead = np.ones(world.n_edges, dtype=bool)
+
+    # -- quality -----------------------------------------------------------
+    def _ensure_q_node(self, node_id: int) -> None:
+        if self._q_all or self._q_built[node_id]:
+            return
+        world = self.world
+        context = self.context
+        start = int(world.indptr[node_id])
+        end = int(world.indptr[node_id + 1])
+        if start == end:
+            self._q_built[node_id] = True
+            return
+        nbrs = world.nbr_lists[node_id]
+        hits = context.histories[node_id].selectivity_hits_block(
+            context.cid, nbrs, context.round_index
+        )
+        max_entries = context.round_index - 1
+        if max_entries == 0:
+            sigma = np.zeros(end - start, dtype=np.float64)
+        else:
+            sigma = np.minimum(
+                1.0, np.asarray(hits, dtype=np.float64) / max_entries
+            )
+        weights = context.weights
+        q = (
+            weights.selectivity * sigma
+            + weights.availability * world.alpha_flat[start:end]
+        )
+        self.q_flat[start:end] = np.minimum(1.0, np.maximum(0.0, q))
+        self._q_built[node_id] = True
+        perf = self._perf
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += end - start
+        perf.edges_scored += end - start
+
+    def _ensure_q_all(self) -> None:
+        if self._q_all:
+            return
+        for node_id in self.world.nbr_lists:
+            self._ensure_q_node(node_id)
+        self._q_all = True
+
+    # -- SPNE value tables ---------------------------------------------------
+    def _ensure_levels(self, depth: int) -> None:
+        """Level-batched backward induction: ``_levels_sum[d][e]`` /
+        ``_levels_n[d][e]`` are the scalar memo's ``(best_sum, best_n)``
+        for state ``e`` with ``d`` edges of lookahead left."""
+        world = self.world
+        n_edges = world.n_edges
+        self._ensure_state_valid()
+        if self._levels_sum is None or self._levels_n is None:
+            self._levels_sum = [np.zeros(n_edges, dtype=np.float64)]
+            self._levels_n = [np.zeros(n_edges, dtype=np.int64)]
+        perf = self._perf
+        while len(self._levels_sum) <= depth:
+            child_edge = world.st_child_edge
+            if child_edge.size == 0:
+                self._levels_sum.append(self._levels_sum[0])
+                self._levels_n.append(self._levels_n[0])
+                continue
+            prev_sum = self._levels_sum[-1]
+            prev_n = self._levels_n[-1]
+            total_sum = self.q_flat[child_edge] + prev_sum[child_edge]
+            total_n = 1 + prev_n[child_edge]
+            mean = total_sum / total_n
+            # Invalid children get a sentinel below every reachable mean
+            # (means are >= 0; the scalar loop's initial best is -1.0).
+            masked = np.where(self.st_valid, mean, -2.0)
+            seg_max = np.maximum.reduceat(masked, world.st_red_idx)
+            # First index attaining the segment max == the scalar loop's
+            # strict-`>` first winner (children are in ascending-id,
+            # i.e. scalar candidate, order).
+            at_max = masked == np.repeat(seg_max, world.st_counts)
+            pos = np.where(at_max, world.child_pos, child_edge.size)
+            first = np.minimum.reduceat(pos, world.st_red_idx)
+            sel = np.minimum(first, child_edge.size - 1)
+            new_sum = total_sum[sel]
+            new_n = total_n[sel]
+            dead = self.st_dead
+            new_sum[dead] = 0.0
+            new_n[dead] = 0
+            self._levels_sum.append(new_sum)
+            self._levels_n.append(new_n)
+            perf.kernel_calls += 1
+            perf.kernel_batch_elements += int(child_edge.size)
+
+    # -- candidates & costs -------------------------------------------------
+    def _candidates(
+        self, node_id: int, predecessor: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(flat edge indices, neighbour ids) of the candidate set, in
+        ascending-id order — the scalar ``candidates()`` semantics."""
+        world = self.world
+        start = int(world.indptr[node_id])
+        end = int(world.indptr[node_id + 1])
+        ids = world.nbr_flat[start:end]
+        valid = self.valid0_flat[start:end]
+        if predecessor is not None:
+            without_pred = valid & (ids != predecessor)
+            if without_pred.any():
+                valid = without_pred
+        rel = np.nonzero(valid)[0]
+        return rel + start, ids[rel]
+
+    def _costs(
+        self,
+        node_id: int,
+        predecessor: Optional[int],
+        participation_cost: float,
+        cand_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Decision costs in candidate order.
+
+        Deliberately a Python loop: ``decision_cost`` may draw a lazy
+        per-link bandwidth sample from the shared RNG on first use, so
+        the call order must match the scalar backend exactly.  Cached
+        per (node, predecessor) within a liveness epoch — repeat calls
+        hit the bandwidth model's own pair cache and draw nothing, so
+        skipping them cannot shift the RNG stream.
+        """
+        key = (node_id, predecessor)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        context = self.context
+        decision_cost = context.cost_model.decision_cost
+        payload = context.contract.payload_size
+        out = np.array(
+            [
+                decision_cost(participation_cost, node_id, nbr, payload)
+                for nbr in cand_ids.tolist()
+            ],
+            dtype=np.float64,
+        )
+        self._cost_cache[key] = out
+        return out
+
+    # -- decisions ----------------------------------------------------------
+    def decide_model1(
+        self, strategy, node, predecessor: Optional[int]
+    ) -> Optional[int]:
+        """Batched Utility Model I: whole candidate set -> utility vector,
+        arraywise argmax with the quality/id tie-break."""
+        node_id = node.node_id
+        self._sync(node_id)
+        self._ensure_q_node(node_id)
+        cand_idx, cand_ids = self._candidates(node_id, predecessor)
+        if cand_ids.size == 0:
+            return None
+        q = self.q_flat[cand_idx]
+        cost = self._costs(node_id, predecessor, node.participation_cost, cand_ids)
+        if q.min() < 0.0 or q.max() > 1.0:
+            raise ValueError(f"edge quality out of [0,1]: {q}")
+        if cost.min() < 0:
+            raise ValueError(f"negative cost {cost.min()}")
+        contract = self.context.contract
+        utility = (
+            contract.forwarding_benefit + q * contract.routing_benefit - cost
+        )
+        perf = self._perf
+        perf.utility_evaluations += int(cand_ids.size)
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += int(cand_ids.size)
+        pos = _argmax_lex(utility, q)
+        if float(utility[pos]) < strategy.participation_threshold:
+            return None
+        return int(cand_ids[pos])
+
+    def decide_model2(
+        self, strategy, node, predecessor: Optional[int]
+    ) -> Optional[int]:
+        """Batched Utility Model II: level-synchronous backward induction
+        over edge states, then one vectorised root decision."""
+        node_id = node.node_id
+        self._sync(node_id)
+        cand_idx, cand_ids = self._candidates(node_id, predecessor)
+        if cand_ids.size == 0:
+            return None
+        self._ensure_q_all()
+        self._ensure_levels(strategy.lookahead)
+        assert self._levels_sum is not None and self._levels_n is not None
+        tail_sum = self._levels_sum[strategy.lookahead][cand_idx]
+        tail_n = self._levels_n[strategy.lookahead][cand_idx]
+        # Terminal delivery edge (quality 1) appended, then normalised —
+        # same expression tree as the scalar path_quality_through.
+        path_q = (self.q_flat[cand_idx] + tail_sum + 1.0) / (tail_n + 2)
+        if path_q.min() < 0.0 or path_q.max() > 1.0:
+            raise ValueError(f"path quality out of [0,1]: {path_q}")
+        cost = self._costs(node_id, predecessor, node.participation_cost, cand_ids)
+        if cost.min() < 0:
+            raise ValueError(f"negative cost {cost.min()}")
+        contract = self.context.contract
+        utility = (
+            contract.forwarding_benefit + path_q * contract.routing_benefit - cost
+        )
+        perf = self._perf
+        perf.utility_evaluations += int(cand_ids.size)
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += int(cand_ids.size)
+        pos = _argmax_lex(utility, path_q)
+        if float(utility[pos]) < strategy.participation_threshold:
+            return None
+        return int(cand_ids[pos])
+
+
+def _argmax_lex(utility: np.ndarray, quality: np.ndarray) -> int:
+    """First position maximising ``(utility, quality)``.
+
+    Candidates arrive in ascending-id order, so the first position among
+    full ties is the lowest id — exactly the scalar
+    ``_argmax_with_quality_tiebreak`` ordering ``(u, q, -id)``.
+    """
+    ties = utility == utility.max()
+    if int(ties.sum()) > 1:
+        # Qualities are >= 0, so -1.0 can never win the masked max.
+        masked_q = np.where(ties, quality, -1.0)
+        ties = masked_q == masked_q.max()
+    return int(np.argmax(ties))

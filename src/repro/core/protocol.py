@@ -35,6 +35,7 @@ from repro.core.contracts import Contract
 from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights
 from repro.core.history import HistoryProfile
+from repro.core.kernels import WorldArrays, default_backend, validate_backend
 from repro.core.path import Path, PathFailure, SeriesLog
 from repro.core.routing import (
     ForwardingContext,
@@ -148,10 +149,19 @@ class PathBuilder:
     #: Span tracer for ``path.build`` (one span per round built); shared
     #: with every :class:`ForwardingContext` the builder creates.
     tracer: object = field(default_factory=_null_tracer, repr=False)
+    #: Scoring backend for the contexts this builder creates: ``None``
+    #: resolves :func:`repro.core.kernels.default_backend` (the
+    #: ``REPRO_BACKEND`` environment variable, defaulting to the scalar
+    #: reference), or pass ``"python"``/``"numpy"`` explicitly.
+    backend: Optional[str] = None
     #: Cumulative reformation count across all rounds built.
     reformations: int = 0
     #: Hops lost to failure injection.
     hops_lost: int = 0
+    #: Shared :class:`WorldArrays` for the numpy backend, created on the
+    #: first round built so topology/availability arrays amortise across
+    #: every round and series this builder serves.
+    _world: Optional[WorldArrays] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -162,12 +172,20 @@ class PathBuilder:
             self.fault_injector = FaultInjector(
                 plan=FaultPlan(hop_loss=self.loss_probability), rng=self.rng
             )
+        self.backend = (
+            default_backend() if self.backend is None else validate_backend(self.backend)
+        )
 
     def _strategy_for(self, node_id: int) -> RoutingStrategy:
         node = self.overlay.nodes[node_id]
         return self.adversary_strategy if node.malicious else self.good_strategy
 
     def _context(self, cid: int, round_index: int, contract: Contract, responder: int) -> ForwardingContext:
+        world = None
+        if self.backend == "numpy":
+            if self._world is None:
+                self._world = WorldArrays(self.overlay)
+            world = self._world
         return ForwardingContext(
             cid=cid,
             round_index=round_index,
@@ -179,6 +197,8 @@ class PathBuilder:
             rng=self.rng,
             weights=self.weights,
             tracer=self.tracer,
+            backend=self.backend,
+            world=world,
         )
 
     def build_round(
@@ -296,6 +316,11 @@ class PathBuilder:
         self, context: ForwardingContext, initiator: int, responder: int
     ) -> Optional[List[int]]:
         """One end-to-end formation attempt; None on dead end."""
+        # Snapshot liveness for this attempt: a crash injected during a
+        # previous attempt of the same round must not leave stale
+        # candidates in the context caches (both backends key off the
+        # same overlay version counter — see ForwardingContext).
+        context.begin_attempt()
         current = initiator
         predecessor: Optional[int] = None
         forwarders: List[int] = []

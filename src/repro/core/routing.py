@@ -32,6 +32,7 @@ from repro.core.contracts import Contract
 from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights, edge_quality
 from repro.core.history import HistoryProfile
+from repro.core.kernels import KernelView, WorldArrays, validate_backend
 from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay
@@ -98,10 +99,62 @@ class ForwardingContext:
     #: round_index)`` — the (neighbor, quality) pairs every utility
     #: strategy loops over.  Sound for the same reason as the quality
     #: cache: candidate sets (liveness) and scores are fixed within a
-    #: round.
+    #: round.  Cleared by :meth:`begin_attempt` when liveness changed
+    #: mid-round (injected crash), so every formation attempt scores
+    #: against a consistent liveness snapshot.
     _scored_candidates_cache: Dict[
         Tuple[int, Optional[int], int], List[Tuple[int, float]]
     ] = field(default_factory=dict, repr=False)
+    #: Scoring backend: ``"python"`` (scalar reference) or ``"numpy"``
+    #: (batched kernels, :mod:`repro.core.kernels`).  Both produce
+    #: bit-identical decisions; the utility strategies dispatch on this.
+    backend: str = "python"
+    #: Shared array world for the numpy backend; the protocol layer
+    #: passes one :class:`WorldArrays` across all rounds it builds so
+    #: topology/availability arrays amortise.  Lazily created here when
+    #: a bare context is used with ``backend="numpy"``.
+    world: Optional[WorldArrays] = field(default=None, repr=False)
+    _kernel_view: Optional[KernelView] = field(default=None, repr=False)
+    #: Liveness snapshot marker for :meth:`begin_attempt`.
+    _liveness_stamp: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
+
+    def kernel_view(self) -> KernelView:
+        """The context's array-kernel state (numpy backend), lazily built."""
+        view = self._kernel_view
+        if view is None:
+            if self.world is None:
+                self.world = WorldArrays(self.overlay)
+            view = KernelView(self.world, self)
+            self._kernel_view = view
+        return view
+
+    def use_kernels(self) -> bool:
+        """True when decisions should run on the batched numpy kernels.
+
+        Position-aware selectivity conditions ``sigma`` on the upstream
+        hop, which breaks the one-score-per-edge array layout — such
+        contexts always take the scalar path.
+        """
+        return self.backend == "numpy" and not self.position_aware_selectivity
+
+    def begin_attempt(self) -> None:
+        """Mark the start of one path-formation attempt.
+
+        Snapshots ``Overlay.liveness_version``; if it moved since the
+        previous attempt (a fault-injected crash took a forwarder
+        offline mid-round), the liveness-dependent scored-candidate
+        cache is dropped so this attempt scores against current
+        membership.  The numpy kernels track the same version counter
+        themselves, so both backends see identical snapshots.  No-op
+        within fault-free rounds — cached state stays warm.
+        """
+        stamp = self.overlay.liveness_version
+        if self._liveness_stamp is not None and stamp != self._liveness_stamp:
+            self._scored_candidates_cache.clear()
+        self._liveness_stamp = stamp
 
     def selectivity_predecessor(self, predecessor: Optional[int]) -> Optional[int]:
         return predecessor if self.position_aware_selectivity else None
@@ -277,6 +330,8 @@ class UtilityModelI(RoutingStrategy):
         predecessor: Optional[int],
         context: ForwardingContext,
     ) -> Optional[int]:
+        if context.use_kernels():
+            return context.kernel_view().decide_model1(self, node, predecessor)
         best = _argmax_with_quality_tiebreak(
             _score_edges_model1(node, predecessor, context)
         )
@@ -389,6 +444,10 @@ class UtilityModelII(RoutingStrategy):
         # One shared SPNE memo for the entire candidate set: overlapping
         # downstream subtrees are expanded exactly once per decision.
         with context.tracer.span("spne.decide"):
+            if context.use_kernels():
+                return context.kernel_view().decide_model2(
+                    self, node, predecessor
+                )
             memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]] = {}
             scored: List[Tuple[float, float, int]] = []
             perf = context.perf

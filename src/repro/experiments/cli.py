@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-bank", action="store_true",
                        help="skip the payment system (faster)")
     run_p.add_argument(
+        "--backend", choices=("python", "numpy"), default=None,
+        help="scoring backend: scalar reference or batched numpy kernels "
+             "(bit-identical decisions; default: $REPRO_BACKEND or python)",
+    )
+    run_p.add_argument(
         "--fault-severity", type=float, default=0.0, metavar="S",
         help="chaos knob in [0, 1): inject drops/crashes/timeouts/outages "
              "scaled by S with retry/backoff recovery (0 = off)",
@@ -157,6 +162,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_bank=not args.no_bank,
         faults=faults,
         obs=obs_config,
+        backend=args.backend,
     )
     result = run_scenario(cfg)
     print(result.summary())

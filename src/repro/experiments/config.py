@@ -231,8 +231,17 @@ class ExperimentConfig:
     #: (The metrics registry and phase timings are always populated —
     #: they are collected after the simulation, off the hot path.)
     obs: Optional[ObsConfig] = None
+    # --- scoring backend (repro.core.kernels)
+    #: ``"python"`` (scalar reference), ``"numpy"`` (batched array
+    #: kernels — bit-identical decisions, faster), or None to resolve
+    #: the ``REPRO_BACKEND`` environment variable at run time.
+    backend: Optional[str] = None
 
     def __post_init__(self):
+        if self.backend is not None:
+            from repro.core.kernels import validate_backend
+
+            validate_backend(self.backend)
         if self.n_nodes < 4:
             raise ValueError(f"need at least 4 nodes, got {self.n_nodes}")
         if not 0.0 <= self.malicious_fraction <= 1.0:

@@ -511,6 +511,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         hop_listener=on_hop,
         bus=bus,
         tracer=tracer,
+        backend=config.backend,
     )
 
     # ---- bank -------------------------------------------------------------

@@ -116,6 +116,15 @@ class PeerNode:
     #: --- availability cache (see module docstring) ---------------------
     _avail_dirty: bool = field(default=True, repr=False)
     _avail_vector: Dict[int, float] = field(default_factory=dict, repr=False)
+    #: Monotonic change counters consumed by array-backed views
+    #: (:class:`repro.core.kernels.WorldArrays`): ``availability_version``
+    #: advances on *any* invalidation (probe credits, direct counter
+    #: writes, neighbour-set changes); ``neighbors_version`` advances only
+    #: when the neighbour *set* itself changes.  Observers compare a
+    #: remembered version against the current one to decide whether their
+    #: derived arrays are stale — the versions never wrap or reset.
+    availability_version: int = field(default=0, repr=False)
+    neighbors_version: int = field(default=0, repr=False)
     #: This thread's plain counter instance, bound once at construction —
     #: ``availability_vector`` sits on the edge-scoring hot path and must
     #: not pay the ``PERF`` facade's thread-local indirection per call.
@@ -184,6 +193,7 @@ class PeerNode:
     # -- neighbour management ---------------------------------------------
     def _invalidate_availability(self) -> None:
         self._avail_dirty = True
+        self.availability_version += 1
 
     def _adopt_view(self, view: NeighborView) -> NeighborView:
         view._on_change = self._invalidate_availability
@@ -197,6 +207,7 @@ class PeerNode:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate neighbour ids")
         self.neighbors = {i: self._adopt_view(NeighborView(node_id=i)) for i in ids}
+        self.neighbors_version += 1
         self._invalidate_availability()
 
     def add_neighbor(self, node_id: int, initial_session_time: float = 0.0) -> None:
@@ -208,12 +219,14 @@ class PeerNode:
         self.neighbors[node_id] = self._adopt_view(
             NeighborView(node_id=node_id, session_time=initial_session_time)
         )
+        self.neighbors_version += 1
         self._invalidate_availability()
 
     def remove_neighbor(self, node_id: int) -> None:
         if node_id not in self.neighbors:
             raise KeyError(f"{node_id} is not a neighbour of {self.node_id}")
         del self.neighbors[node_id]
+        self.neighbors_version += 1
         self._invalidate_availability()
 
     def neighbor_ids(self) -> List[int]:

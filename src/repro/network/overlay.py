@@ -36,6 +36,13 @@ class Overlay:
     trace: NetworkTrace = field(default_factory=NetworkTrace)
     _online: Set[int] = field(default_factory=set)
     _next_id: int = 0
+    #: Monotonic counter advanced on every online-set change (join /
+    #: leave / depart).  Array-backed views
+    #: (:class:`repro.core.kernels.WorldArrays`) and per-attempt liveness
+    #: snapshots compare a remembered value against this to detect
+    #: mid-round churn (e.g. an injected forwarder crash) without
+    #: re-reading the whole online set.
+    liveness_version: int = field(default=0, repr=False)
 
     def __post_init__(self):
         if self.degree < 1:
@@ -95,6 +102,7 @@ class Overlay:
         node = self.nodes[node_id]
         node.go_online(now)
         self._online.add(node_id)
+        self.liveness_version += 1
         self.trace.join(now, node_id)
         if not node.neighbors and len(self._online) > 1:
             wanted = min(self.degree, len(self._online) - 1)
@@ -105,6 +113,7 @@ class Overlay:
         node = self.nodes[node_id]
         node.go_offline(now)
         self._online.discard(node_id)
+        self.liveness_version += 1
         self.trace.leave(now, node_id)
 
     def depart(self, node_id: int, now: float) -> None:
@@ -113,6 +122,7 @@ class Overlay:
         was_online = node.is_online
         node.depart(now)
         self._online.discard(node_id)
+        self.liveness_version += 1
         if was_online:
             self.trace.depart(now, node_id)
 
@@ -126,6 +136,19 @@ class Overlay:
 
     def online_count(self) -> int:
         return len(self._online)
+
+    def online_mask(self, size: int) -> np.ndarray:
+        """Boolean liveness vector indexed by node id (``mask[i]`` iff node
+        ``i`` is online).  ``size`` must cover the id space the caller
+        indexes with; ids at or beyond ``size`` are ignored.  Used by the
+        array-backed scoring kernels to vectorise the liveness filter."""
+        mask = np.zeros(size, dtype=bool)
+        if self._online:
+            ids = np.fromiter(
+                self._online, dtype=np.int64, count=len(self._online)
+            )
+            mask[ids[ids < size]] = True
+        return mask
 
     def good_nodes(self) -> List[PeerNode]:
         """All non-malicious nodes ever created."""

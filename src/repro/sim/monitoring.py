@@ -210,6 +210,16 @@ class PerfCounters:
       reuse inside ``UtilityModelII`` (one shared memo per decision);
     - ``utility_evaluations`` — forwarder-utility function evaluations
       (models I and II combined).
+
+    Array-backend (``repro.core.kernels``) counters:
+
+    - ``kernel_calls`` — batched kernel evaluations (edge-block scoring,
+      SPNE level sweeps, flat quality builds);
+    - ``kernel_batch_elements`` — total elements across those calls
+      (``kernel_batch_elements / kernel_calls`` is the mean batch size);
+    - ``array_rebuilds`` — WorldArrays (re)builds of derived arrays after
+      an invalidation (topology CSR, per-node availability slices, flat
+      quality/liveness vectors).
     """
 
     _FIELDS = (
@@ -222,6 +232,9 @@ class PerfCounters:
         "spne_memo_hits",
         "spne_memo_misses",
         "utility_evaluations",
+        "kernel_calls",
+        "kernel_batch_elements",
+        "array_rebuilds",
     )
 
     __slots__ = _FIELDS

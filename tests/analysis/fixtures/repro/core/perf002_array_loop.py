@@ -1,0 +1,47 @@
+"""PERF002 fixture: per-element Python loops over numpy arrays."""
+
+import numpy as np
+
+
+def iterate_array(n):
+    scores = np.zeros(n)
+    total = 0.0
+    for s in scores:  # PERF002: element-wise iteration boxes each float
+        total += s
+    return total
+
+
+def subscript_loop(values):
+    arr = np.asarray(values)
+    out = []
+    for i in range(len(arr)):
+        out.append(arr[i] * 2.0)  # PERF002: scalar access per iteration
+    return out
+
+
+def inline_call_loop(n):
+    acc = 0
+    for x in np.arange(n):  # PERF002: iterating a numpy call directly
+        acc += x
+    return acc
+
+
+def comprehension_loop(n):
+    weights = np.ones(n)
+    return [w + 1.0 for w in weights]  # PERF002: comprehension iterates too
+
+
+def sanctioned_tolist(values):
+    arr = np.asarray(values)
+    ids = arr.tolist()  # leave array-land once, then loop native objects
+    total = 0.0
+    for v in ids:
+        total += v
+    for v in arr.tolist():  # inline conversion is fine too
+        total += v
+    return total
+
+
+def vectorised_ok(n):
+    qualities = np.linspace(0.0, 1.0, n)
+    return float(np.clip(qualities * 2.0, 0.0, 1.0).sum())

@@ -26,6 +26,7 @@ class TestRegistry:
             "DET003",
             "DET004",
             "PERF001",
+            "PERF002",
         ]
 
     def test_duplicate_code_rejected(self):
@@ -178,6 +179,74 @@ class TestPerf001:
             return hooks
         """
         assert run_rule("PERF001", src) == []
+
+
+class TestPerf002:
+    def test_tolist_untaints_and_inline_conversion_is_ok(self):
+        src = """
+        import numpy as np
+
+        def f(values):
+            arr = np.asarray(values)
+            native = arr.tolist()
+            total = 0.0
+            for v in native:
+                total += v
+            for v in arr.tolist():
+                total += v
+            return total
+        """
+        assert run_rule("PERF002", src) == []
+
+    def test_subscript_with_loop_index_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(n):
+            arr = np.zeros(n)
+            out = 0.0
+            for i in range(n):
+                out += arr[i]
+            return out
+        """
+        (f,) = run_rule("PERF002", src)
+        assert "arr[i]" in f.message
+
+    def test_scoped_to_core_and_network_layers(self):
+        src = """
+        import numpy as np
+
+        def f(n):
+            for x in np.arange(n):
+                pass
+        """
+        assert len(run_rule("PERF002", src, "repro/core/x.py")) == 1
+        assert len(run_rule("PERF002", src, "repro/network/x.py")) == 1
+        assert run_rule("PERF002", src, "repro/experiments/x.py") == []
+        assert run_rule("PERF002", src, "repro/sim/x.py") == []
+
+    def test_subscript_outside_loop_not_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(n, i):
+            arr = np.zeros(n)
+            return arr[i]
+        """
+        assert run_rule("PERF002", src) == []
+
+    def test_nested_function_does_not_inherit_loop_vars(self):
+        src = """
+        import numpy as np
+
+        def f(n):
+            arr = np.zeros(n)
+            for i in range(n):
+                def peek():
+                    return arr[i]
+            return peek
+        """
+        assert run_rule("PERF002", src) == []
 
 
 class TestArch001:
