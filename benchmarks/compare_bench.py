@@ -27,16 +27,25 @@ Exit status 1 if any benchmark shared with the baseline is more than
 side are reported but never fail the gate (machines differ; the
 baseline is refreshed whenever the hot path intentionally changes).
 ``--no-gate`` skips the comparison (e.g. when only compacting).
+
+``--gate-match REGEX`` (repeatable) narrows which benchmarks can *fail*
+the gate: names matching any pattern gate as usual, the rest are
+compared and printed but reported as informational.  CI uses this to
+gate the numpy-default scenario variants while keeping the pinned
+scalar-spec lanes advisory (the scalar path is an executable spec, not
+a performance product).  No ``--gate-match`` flag means every shared
+benchmark gates.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Optional
 
 COMPACT_SCHEMA = "repro-bench/compact-v1"
 TRAJECTORY_SCHEMA = "repro-bench/trajectory-v1"
@@ -79,7 +88,17 @@ def means(report: dict) -> Dict[str, float]:
     return {name: stats["mean"] for name, stats in report["benchmarks"].items()}
 
 
-def compare(current: Dict[str, float], baseline: Dict[str, float], threshold: float) -> int:
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+    gate_patterns: Optional[List[str]] = None,
+) -> int:
+    gates = [re.compile(p) for p in gate_patterns or []]
+
+    def is_gated(name: str) -> bool:
+        return not gates or any(g.search(name) for g in gates)
+
     regressions = []
     width = max((len(n) for n in current), default=0)
     for name in sorted(current):
@@ -91,8 +110,11 @@ def compare(current: Dict[str, float], baseline: Dict[str, float], threshold: fl
         ratio = mean / base if base > 0 else float("inf")
         status = "OK"
         if ratio > 1.0 + threshold:
-            status = "REGRESSED"
-            regressions.append((name, base, mean, ratio))
+            if is_gated(name):
+                status = "REGRESSED"
+                regressions.append((name, base, mean, ratio))
+            else:
+                status = "INFO"  # slower, but outside the gated set
         print(
             f"{status:<8} {name.ljust(width)}  {base * 1e3:9.3f} -> "
             f"{mean * 1e3:9.3f} ms  ({ratio:5.2f}x)"
@@ -192,6 +214,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the baseline comparison (compact/trajectory only)",
     )
+    parser.add_argument(
+        "--gate-match",
+        action="append",
+        default=None,
+        metavar="REGEX",
+        help="only benchmarks matching REGEX (searched, repeatable) can "
+             "fail the gate; others compare as informational.  Omit to "
+             "gate everything.",
+    )
     args = parser.parse_args(argv)
     if not args.report.exists():
         print(f"report not found: {args.report}", file=sys.stderr)
@@ -209,7 +240,12 @@ def main(argv=None) -> int:
     if not args.baseline.exists():
         print(f"baseline not found: {args.baseline}", file=sys.stderr)
         return 2
-    return compare(means(report), means(load_report(args.baseline)), args.threshold)
+    return compare(
+        means(report),
+        means(load_report(args.baseline)),
+        args.threshold,
+        gate_patterns=args.gate_match,
+    )
 
 
 if __name__ == "__main__":

@@ -65,12 +65,23 @@ def arrays(world):
     return WorldArrays(ov)
 
 
-def fresh_context(ov, histories, backend="python", world_arrays=None):
+def fresh_context(
+    ov,
+    histories,
+    backend="python",
+    world_arrays=None,
+    round_index=LATE_ROUND,
+    kernel_crossover=False,
+):
+    # Crossover off by default: these benchmarks measure the kernels
+    # themselves (degree 6 sits below the Model-I threshold, and the
+    # point is to compare the lanes, not the dispatch heuristic).  The
+    # degree-3 benchmark below turns it back on to measure dispatch.
     return ForwardingContext(
         cid=1,
-        round_index=LATE_ROUND,
+        round_index=round_index,
         contract=Contract.from_tau(75.0, 2.0),
-        responder=N_NODES - 1,
+        responder=len(ov.nodes) - 1,
         overlay=ov,
         cost_model=CostModel(bandwidth=None, flat_unit_cost=1.0),
         histories=histories,
@@ -78,6 +89,7 @@ def fresh_context(ov, histories, backend="python", world_arrays=None):
         weights=QualityWeights(),
         backend=backend,
         world=world_arrays,
+        kernel_crossover=kernel_crossover,
     )
 
 
@@ -124,6 +136,44 @@ def test_perf_model2_decision(benchmark, world, arrays, lookahead, backend):
     def decide():
         return strat.select_next_hop(
             node, None, fresh_context(ov, histories, backend, shared)
+        )
+
+    assert benchmark(decide) in node.neighbors
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_perf_model1_decision_degree3_crossover(benchmark, backend):
+    """The small-world regime the crossover heuristic exists for: a
+    degree-3 neighbour set is far below ``MODEL1_KERNEL_MIN_CANDIDATES``,
+    where per-decision numpy overhead (~3x) used to dominate.  With the
+    heuristic on, the numpy lane dispatches these tiny decisions to the
+    scalar path, so both bars here should be near-identical."""
+    rng = np.random.default_rng(7)
+    ov = Overlay(rng=rng, degree=3)
+    ov.bootstrap(12)
+    histories = {nid: HistoryProfile(nid) for nid in ov.nodes}
+    for _, node in sorted(ov.nodes.items()):
+        for _, view in sorted(node.neighbors.items()):
+            view.session_time = float(rng.uniform(1.0, 120.0))
+    for nid, h in histories.items():
+        nbrs = ov.nodes[nid].neighbor_ids()
+        for rnd in range(1, 40):
+            h.record(
+                1,
+                rnd,
+                predecessor=int(rng.choice(list(ov.nodes))),
+                successor=int(rng.choice(nbrs)),
+            )
+    strat = UtilityModelI()
+    node = ov.nodes[0]
+
+    def decide():
+        return strat.select_next_hop(
+            node,
+            None,
+            fresh_context(
+                ov, histories, backend, round_index=40, kernel_crossover=True
+            ),
         )
 
     assert benchmark(decide) in node.neighbors

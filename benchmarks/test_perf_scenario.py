@@ -11,6 +11,7 @@ availability, shared SPNE memo) accelerate the most.
 
 import pytest
 
+from repro.core.kernels import default_backend
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import run_scenario
 
@@ -23,14 +24,16 @@ CFG = ExperimentConfig(
     use_bank=False,  # time the simulation core, not RSA
 )
 
+#: Unpinned variants run on the resolved default — numpy since the flip —
+#: so "utility-II-L3" now *is* the batched-kernel number the trajectory
+#: gate watches.  The ``-python`` lane pins the scalar executable spec
+#: for the ratio (informational, not gated in CI).
 STRATEGY_OVERRIDES = {
     "utility-I": {},
     "utility-II": {"strategy": "utility-II", "lookahead": 2},
     "utility-II-L3": {"strategy": "utility-II", "lookahead": 3},
-    # The batched-kernel backend on the heaviest decision workload —
-    # the end-to-end view of the speedup the kernels exist for.
-    "utility-II-L3-numpy": {
-        "strategy": "utility-II", "lookahead": 3, "backend": "numpy",
+    "utility-II-L3-python": {
+        "strategy": "utility-II", "lookahead": 3, "backend": "python",
     },
 }
 
@@ -44,14 +47,20 @@ def test_perf_scenario_throughput(benchmark, variant):
     # meaningless: the run must actually have done the work.
     completed = sum(s.rounds_completed for s in result.series_stats)
     assert completed >= 0.9 * CFG.n_pairs * CFG.rounds_per_pair
-    # And the intended scoring machinery must actually be in play: the
-    # numpy backend reports through the kernel_* counters, the scalar
-    # one through its cache counters.
-    if overrides.get("backend") == "numpy":
+    # And the intended scoring machinery must actually be in play.  On
+    # the numpy lanes what that means depends on the small-world
+    # crossover: utility-II at n=40 batches through the kernels, while
+    # utility-I's degree-5 candidate sets stay on the scalar path by
+    # design (the heuristic's whole point) — so the former must tick
+    # kernel counters and the latter must not.
+    backend = overrides.get("backend") or default_backend()
+    strategy = overrides.get("strategy", CFG.strategy)
+    if backend == "numpy" and strategy == "utility-II":
         assert result.perf_counters["kernel_calls"] > 0
     else:
+        assert result.perf_counters["kernel_calls"] == 0
         assert result.perf_counters["selectivity_queries"] > 0
-        if variant != "utility-I":
+        if strategy != "utility-I":
             assert result.perf_counters["edge_quality_cache_hits"] > 0
 
 

@@ -1,5 +1,5 @@
 """Performance rules: PERF001 (thread-local in loop), PERF002 (Python
-loop over a numpy array).
+loop over a numpy array), PERF003 (array world rebuilt in a loop).
 
 PERF001 — ``repro.sim.monitoring.PERF`` is a ``threading.local``-backed
 facade: an attribute access costs ~5x a plain increment because it
@@ -19,6 +19,17 @@ expressions, or — when per-element Python work is genuinely required,
 e.g. the RNG-ordered cost loop — convert once with ``.tolist()`` and
 loop over native objects.  Scoped to ``repro.core`` / ``repro.network``,
 the layers that hold hot-path arrays.
+
+PERF003 — :class:`repro.core.kernels.WorldArrays` and
+:class:`~repro.core.kernels.BatchPlanner` are built to be constructed
+*once* and kept fresh through version counters (``neighbors_version``,
+``availability_version``, ``liveness_version``); rebuilding one per loop
+iteration re-snapshots the whole overlay (O(N·d) + allocation) on every
+pass and throws away all cached frontier state.  The regression is easy
+to introduce — a per-round helper that "just makes a view" — and
+profiling PR 5 showed the per-round ``KernelView`` constructions alone
+cost ~8% of the scenario hot path, which is why the planner now lives on
+the builder.  Scoped like PERF002.
 """
 
 from __future__ import annotations
@@ -271,6 +282,91 @@ class NumpyElementLoopRule(Rule):
         return {
             n.id for n in ast.walk(target) if isinstance(n, ast.Name)
         }
+
+
+#: Constructors that snapshot the whole overlay into arrays; building one
+#: is amortised setup, building one per iteration is the regression.
+_WORLD_QUALNAMES = frozenset(
+    {
+        "repro.core.kernels.WorldArrays",
+        "repro.core.kernels.BatchPlanner",
+        "repro.core.kernels.KernelView",  # legacy name, kept so old code trips too
+    }
+)
+
+
+@register
+class ArrayWorldRebuildInLoopRule(Rule):
+    """PERF003: WorldArrays/BatchPlanner constructed inside a loop."""
+
+    code = "PERF003"
+    name = "array-world-rebuild-in-loop"
+    rationale = (
+        "WorldArrays/BatchPlanner snapshot the whole overlay into CSR "
+        "arrays at construction and stay fresh through version counters; "
+        "constructing one per loop iteration pays the O(N*d) rebuild on "
+        "every pass and discards all cached frontier state.  Build the "
+        "world once outside the loop (e.g. keep it on the PathBuilder) "
+        "and let ensure_fresh() notice changes."
+    )
+
+    #: Same layers PERF002 polices — where the hot-path arrays live.
+    _SCOPES = ("repro.core.", "repro.network.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(self._SCOPES):
+            return
+        if not any(
+            v in _WORLD_QUALNAMES or v.startswith("repro.core.kernels")
+            for v in ctx.imports.values()
+        ):
+            return
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, in_loop=False, out=findings)
+        yield from findings
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, in_loop: bool, out: List[Finding]
+    ) -> None:
+        if in_loop and isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and self._resolves_to_world(ctx, name):
+                out.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{name}(...) constructed inside a loop; the array "
+                        "world is built once and kept fresh via version "
+                        "counters — hoist the construction out of the loop",
+                    )
+                )
+                # Still recurse into the arguments: a nested construction
+                # (rare, but possible) is a second, distinct rebuild.
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            header = node.iter if isinstance(node, (ast.For, ast.AsyncFor)) else node.test
+            self._visit(ctx, header, in_loop, out)
+            for stmt in list(node.body) + list(node.orelse):
+                self._visit(ctx, stmt, in_loop=True, out=out)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A def inside a loop only binds; per-iteration construction
+            # inside the nested body is found on recursion from scratch.
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for stmt in body:
+                self._visit(ctx, stmt, in_loop=False, out=out)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, in_loop, out)
+
+    def _resolves_to_world(self, ctx: FileContext, name: str) -> bool:
+        if name in _WORLD_QUALNAMES:
+            return True
+        head, _, rest = name.partition(".")
+        resolved = ctx.imports.get(head)
+        if resolved is None:
+            return False
+        full = f"{resolved}.{rest}" if rest else resolved
+        return full in _WORLD_QUALNAMES
 
 
 def _thread_local_names(ctx: FileContext) -> Set[str]:

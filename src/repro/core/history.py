@@ -178,8 +178,8 @@ class HistoryProfile:
     ) -> List[int]:
         """Matching-entry counts for a whole candidate block, one bisect
         per successor — the batched form of :meth:`selectivity`'s numerator
-        (predecessor-unconditioned; position-aware scoring stays on the
-        scalar path).
+        (predecessor-unconditioned; :meth:`selectivity_hits_block_pos` is
+        the position-aware counterpart).
 
         Returns raw hit counts (not ratios) so the caller can normalise
         the whole block in one vectorised division.  Counts only entries
@@ -198,6 +198,35 @@ class HistoryProfile:
         out = []
         for succ in successors:
             rounds = get(succ)
+            out.append(bisect_left(rounds, round_index) if rounds else 0)
+        return out
+
+    def selectivity_hits_block_pos(
+        self,
+        cid: int,
+        predecessor: int,
+        successors: List[int],
+        round_index: int,
+    ) -> List[int]:
+        """Position-aware counterpart of :meth:`selectivity_hits_block`:
+        matching-entry counts conditioned on ``predecessor``, one bisect
+        per successor over the ``(predecessor, successor)`` round index.
+
+        Exactly the numerators :meth:`selectivity` computes with a
+        ``predecessor`` argument — the batched (numpy) backend scores
+        predecessor-differentiated columns from these, bit-identical to
+        the scalar path.  Counts only entries strictly before
+        ``round_index``; result order matches ``successors``.
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        pos = self._pos_rounds.get(cid)
+        if not pos or round_index == 1:
+            return [0] * len(successors)
+        get = pos.get
+        out = []
+        for succ in successors:
+            rounds = get((predecessor, succ))
             out.append(bisect_left(rounds, round_index) if rounds else 0)
         return out
 

@@ -13,11 +13,16 @@ of vectorised kernels:
   version counters (``neighbors_version``, ``availability_version``,
   ``liveness_version``) and the arrays are rebuilt or patched only when
   a remembered version no longer matches.
-- :class:`KernelView` — the per-:class:`ForwardingContext` slice of
-  derived state: the per-edge quality vector ``q_flat`` for the current
-  ``(cid, round)``, liveness masks, and the level-batched SPNE value
-  tables for Utility Model II.
-- ``KernelView.decide_model1`` / ``decide_model2`` — batched
+- :class:`BatchPlanner` — the round-level batch planner.  It keeps one
+  :class:`Frontier` per open connection (derived per-``(cid, round)``
+  state: the per-edge quality row, liveness masks, SPNE value tables)
+  and, when any connection needs its full quality row, rebuilds *all*
+  stale prepared frontiers in one stacked ``(connections, edges)``
+  kernel invocation.  ``PathBuilder`` announces upcoming rounds through
+  :meth:`BatchPlanner.prepare` right after committing a path, so a
+  heavy-traffic scenario scores many connections' next rounds inside a
+  single numpy call instead of one call per connection.
+- ``BatchPlanner.decide_model1`` / ``decide_model2`` — batched
   replacements for the scalar ``select_next_hop`` bodies.
 
 **Bit-identity contract.**  The numpy backend must make *exactly* the
@@ -30,18 +35,22 @@ RNG stream aligned:
    cached ``availability_vector()`` normalisation (never re-summed with
    numpy's pairwise summation); selectivity hit counts come from the
    same sorted-round-index bisects the scalar path uses
-   (:meth:`HistoryProfile.selectivity_hits_block`).
+   (:meth:`HistoryProfile.selectivity_hits_block` and its
+   position-aware sibling ``selectivity_hits_block_pos``).
 2. *Same float expressions.*  Every arithmetic step mirrors the scalar
    expression tree op for op (``w_s*sigma + w_a*alpha`` then clamp;
    ``(q + tail_sum + 1.0) / (tail_n + 2)``; …) — numpy's float64 ufuncs
    round identically to CPython floats, so equal expressions give equal
-   bits.
+   bits.  Batch rows are computed element-wise, so *what else* is in a
+   batch can never change a row's bits.
 3. *Same RNG order.*  The only RNG consumer on the scoring path is the
    lazy per-link bandwidth draw inside ``CostModel.decision_cost``.
    Cost vectors are therefore computed by a plain Python loop over the
    candidate ids in scalar candidate order, only for top-level
    decisions — never eagerly, never batched — so first-use draws happen
-   at exactly the same points of the run.
+   at exactly the same points of the run.  Quality rows and SPNE tables
+   touch no RNG at all, which is what makes speculative cross-
+   connection batching sound.
 
 **Backward induction as edge states.**  A memo state of the scalar
 Model II recursion is ``(node, predecessor, depth)``; since the
@@ -54,18 +63,34 @@ per-(state, child) entries: gather the previous level's values through
 ``np.minimum.reduceat``), reproducing the scalar loop's strict-``>``
 first-winner tie behaviour.
 
+**Position-aware selectivity.**  ``position_aware_selectivity=True``
+conditions ``sigma`` on the upstream hop.  In state space that is
+natural: state ``e = (u -> v)`` already carries the predecessor ``u``,
+so the induction's base quality becomes a per-(state, child) column
+``q_child`` (edge ``v -> w`` scored against ``u``-conditioned
+selectivity) instead of the shared per-edge row.  Root decisions score
+the deciding node's own slice against the *actual* predecessor
+directly (the edge ``predecessor -> node`` need not exist in the CSR —
+neighbour sets are not symmetric), cached per ``(node, predecessor)``.
+
 **Snapshot semantics.**  Quality, availability and topology are
-snapshotted per ``(context, round)`` — the same contract the scalar
-caches document (histories commit after the round; probe counters
-advance between rounds).  Liveness is snapshotted per formation
-*attempt*: ``ForwardingContext.begin_attempt`` observes
+snapshotted per ``(cid, round)`` — the same contract the scalar caches
+document (histories commit after the round; probe counters advance
+between rounds).  Frontier quality state carries a freshness token
+``(round_index, WorldArrays.alpha_generation)`` so a speculatively
+pre-built row is dropped, never misused, when probing moved
+availability before the round actually ran.  Liveness is snapshotted
+per formation *attempt*: ``ForwardingContext.begin_attempt`` observes
 ``Overlay.liveness_version`` so a mid-round crash (fault injection)
 refreshes the candidate world for the next attempt on both backends.
 
-Position-aware selectivity conditions ``sigma`` on the upstream hop,
-which breaks the one-value-per-edge layout; contexts with
-``position_aware_selectivity=True`` stay on the scalar path (the
-dispatch sites in :mod:`repro.core.routing` guard this).
+**Small-world crossover.**  The kernels win on batch size; on tiny
+candidate sets the array bookkeeping costs more than the scalar loop
+(measured ~3x slower for Model I at degree 5).  Dispatch therefore
+stays scalar below :data:`MODEL1_KERNEL_MIN_CANDIDATES` candidates
+(Model I) / :data:`MODEL2_KERNEL_MIN_NODES` overlay nodes (Model II)
+unless the context disables the crossover.  Both branches are
+bit-identical, so mixing them within one run is sound.
 """
 
 from __future__ import annotations
@@ -88,6 +113,21 @@ BACKENDS: Tuple[str, ...] = ("python", "numpy")
 #: Environment variable consulted by :func:`default_backend`.
 BACKEND_ENV = "REPRO_BACKEND"
 
+#: Model I stays scalar below this many neighbours at the deciding node:
+#: a single tiny candidate row costs more to stage into arrays than to
+#: loop over (measured crossover on the hotpath benchmarks).
+MODEL1_KERNEL_MIN_CANDIDATES = 12
+
+#: Model II stays scalar below this many overlay nodes: the SPNE tables
+#: batch over every directed edge, so the win scales with the edge
+#: count, not the candidate count.
+MODEL2_KERNEL_MIN_NODES = 20
+
+#: Frontier cache bound per planner (oldest evicted first).  Generous:
+#: a frontier is a handful of per-edge arrays, and scenarios keep well
+#: under this many connections open at once.
+MAX_FRONTIERS = 128
+
 
 def validate_backend(name: str) -> str:
     """Return ``name`` if it is a known backend, else raise ``ValueError``."""
@@ -99,15 +139,17 @@ def validate_backend(name: str) -> str:
 
 
 def default_backend() -> str:
-    """The process-wide default backend: ``$REPRO_BACKEND`` or ``python``.
+    """The process-wide default backend: ``$REPRO_BACKEND`` or ``numpy``.
 
-    The scalar backend stays the default — it is the executable
-    specification; the numpy backend is the performance twin that the
-    differential suite holds bit-identical to it.
+    The batched numpy kernels are the default — the scalar backend is
+    the executable specification, kept bit-identical by the
+    differential suite and selectable with ``REPRO_BACKEND=python``
+    (or an explicit ``backend=`` argument) when stepping through
+    decisions matters more than throughput.
     """
     value = os.environ.get(BACKEND_ENV, "").strip()
     if not value:
-        return "python"
+        return "numpy"
     return validate_backend(value)
 
 
@@ -138,15 +180,20 @@ class WorldArrays:
     Invalidation: :meth:`ensure_fresh` rebuilds the topology (and bumps
     ``generation``) when any node's ``neighbors_version`` moved or the
     node population changed, and re-patches per-node ``alpha_flat``
-    slices whose ``availability_version`` moved.  Liveness is *not*
-    stored here — it changes mid-round under fault injection and is
-    masked per :class:`KernelView`.
+    slices whose ``availability_version`` moved (bumping
+    ``alpha_generation``, the token frontier quality rows key on).
+    Liveness is *not* stored here — it changes mid-round under fault
+    injection and is masked per :class:`Frontier`.
     """
 
     def __init__(self, overlay: "Overlay") -> None:
         self.overlay = overlay
-        #: Bumped on every topology rebuild; views compare against it.
+        #: Bumped on every topology rebuild; frontiers compare against it.
         self.generation = 0
+        #: Bumped whenever any ``alpha_flat`` slice is re-patched; part
+        #: of the quality-row freshness token, so rows pre-built for a
+        #: future round survive exactly until availability moves.
+        self.alpha_generation = 0
         self.size = 0
         self.n_edges = 0
         self.indptr: Optional[np.ndarray] = None
@@ -288,149 +335,258 @@ class WorldArrays:
             avers[nid] = ver
             touched = True
         if touched:
+            self.alpha_generation += 1
             self._perf.array_rebuilds += 1
 
 
-class KernelView:
-    """Per-context derived arrays + the batched decision procedures.
+class Frontier:
+    """Per-connection derived state inside a :class:`BatchPlanner`.
 
-    Owns three epochs of derived state, each invalidated independently:
+    Three epochs, invalidated independently by freshness tokens:
 
-    - quality (``q_flat``): per ``(cid, round_index)`` — rebuilt lazily
-      per node on the next decision after the key changes (Model I
-      touches only the deciding node's slice; Model II fills all);
-    - liveness (``valid0_flat``/``st_valid``/``st_dead`` and the cost
-      cache): per ``Overlay.liveness_version``;
-    - SPNE value tables (``_levels_*``): dependent on both, cleared when
-      either moves.
+    - quality (``q_flat``/``q_child``/``pos_q_cache``): keyed
+      ``(round_index, WorldArrays.alpha_generation)`` — history commits
+      advance the round, probe sweeps advance ``alpha_generation``;
+    - liveness (``valid0``/``st_valid``/``st_dead`` and the cost
+      cache): keyed ``Overlay.liveness_version``;
+    - SPNE value tables (``levels_*``): keyed on both plus the
+      position-aware flag.
     """
 
     __slots__ = (
-        "world",
-        "context",
+        "cid",
+        "round_index",
+        "responder",
+        "generation",
+        "wants_full_row",
+        "prepared",
         "q_flat",
-        "valid0_flat",
+        "q_built",
+        "row_complete",
+        "q_token",
+        "q_child",
+        "q_child_token",
+        "pos_q_cache",
+        "valid0",
         "st_valid",
         "st_dead",
-        "_q_built",
-        "_q_all",
-        "_q_key",
-        "_liveness_stamp",
-        "_levels_sum",
-        "_levels_n",
-        "_cost_cache",
-        "_world_gen",
-        "_perf",
+        "liveness_token",
+        "levels_sum",
+        "levels_n",
+        "levels_token",
+        "cost_cache",
     )
 
-    def __init__(self, world: WorldArrays, context: "ForwardingContext") -> None:
-        self.world = world
-        self.context = context
-        self._perf = context.perf
-        world.ensure_fresh()
-        self._world_gen = world.generation
-        self._reset_for_world()
-
-    def _reset_for_world(self) -> None:
-        world = self.world
-        self.q_flat = np.zeros(world.n_edges, dtype=np.float64)
-        self._q_built = np.zeros(world.size, dtype=bool)
-        self._q_all = world.n_edges == 0
-        self._q_key: Optional[Tuple[int, int]] = None
-        self._liveness_stamp: Optional[int] = None
-        self.valid0_flat = np.zeros(0, dtype=bool)
+    def __init__(self, cid: int, round_index: int, responder: int) -> None:
+        self.cid = cid
+        self.round_index = round_index
+        self.responder = responder
+        self.generation = -1
+        #: True once any Model II decision needed the full quality row —
+        #: only such connections are worth pre-building into batches.
+        self.wants_full_row = False
+        #: Set by :meth:`BatchPlanner.prepare`, cleared after one
+        #: speculative build: each announced round buys at most one
+        #: pre-built row, so retired connections never leak work into
+        #: later batches.
+        self.prepared = False
+        self.q_flat = np.zeros(0, dtype=np.float64)
+        self.q_built = np.zeros(0, dtype=bool)
+        self.row_complete = False
+        self.q_token: Optional[Tuple[int, int]] = None
+        self.q_child: Optional[np.ndarray] = None
+        self.q_child_token: Optional[Tuple[int, int]] = None
+        self.pos_q_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self.valid0: Optional[np.ndarray] = None
         self.st_valid: Optional[np.ndarray] = None
         self.st_dead: Optional[np.ndarray] = None
-        self._levels_sum: Optional[List[np.ndarray]] = None
-        self._levels_n: Optional[List[np.ndarray]] = None
-        self._cost_cache: Dict[Tuple[int, Optional[int]], np.ndarray] = {}
+        self.liveness_token: Optional[int] = None
+        self.levels_sum: Optional[List[np.ndarray]] = None
+        self.levels_n: Optional[List[np.ndarray]] = None
+        self.levels_token: Optional[tuple] = None
+        self.cost_cache: Dict[Tuple[int, Optional[int]], np.ndarray] = {}
 
-    # -- epoch synchronisation --------------------------------------------
-    def _sync(self, node_id: int) -> None:
-        """Cheap per-decision staleness checks (two compares on the hot
-        path; the expensive rebuilds only run when an epoch moved)."""
+
+class BatchPlanner:
+    """Round-level batch planner: one per :class:`PathBuilder` (or per
+    bare context), holding one :class:`Frontier` per open connection
+    over a shared :class:`WorldArrays`.
+
+    All contexts routed through one planner must share ``histories``
+    and ``weights`` (true for every context a single ``PathBuilder``
+    creates) — quality rows are built from them without re-reading per
+    decision.  Contract payloads and responders may differ per
+    connection; they live on the frontier.
+    """
+
+    def __init__(self, world: WorldArrays) -> None:
+        self.world = world
+        self.frontiers: Dict[int, Frontier] = {}
+        #: High-water mark of frontiers scored in one stacked kernel
+        #: call — the cross-connection batching observable.
+        self.max_batched_frontiers = 0
+        self._last_key: Optional[Tuple[int, int]] = None
+        self._mask: Optional[np.ndarray] = None
+        self._mask_key: Optional[Tuple[int, int]] = None
+        self._perf = PERF.counters
+
+    # -- announcements -----------------------------------------------------
+    def prepare(self, cid: int, round_index: int, responder: int) -> None:
+        """Announce that connection ``cid`` will next build
+        ``round_index`` — called by the protocol layer right after a
+        path commit, when the round's history is final.
+
+        Cheap: no arrays are touched here.  The frontier is only marked
+        eligible for the next stacked quality build, so another
+        connection's decision computes this one's row for free.  If the
+        prediction misses (cid rotation re-keyed the epoch, probing
+        moved availability first), the freshness token discards the row
+        — speculation is never observable, only faster.
+        """
+        fr = self.frontiers.get(cid)
+        if fr is None:
+            fr = self._new_frontier(cid, round_index, responder)
+        fr.round_index = round_index
+        fr.responder = responder
+        fr.prepared = True
+
+    # -- frontier bookkeeping ----------------------------------------------
+    def _new_frontier(self, cid: int, round_index: int, responder: int) -> Frontier:
+        if len(self.frontiers) >= MAX_FRONTIERS:
+            self.frontiers.pop(next(iter(self.frontiers)))
+        fr = Frontier(cid, round_index, responder)
+        self.frontiers[cid] = fr
+        return fr
+
+    def _reset_frontier(self, fr: Frontier) -> None:
         world = self.world
-        context = self.context
-        if world.indptr is None or node_id + 1 >= world.indptr.size:
-            world.ensure_fresh()
+        fr.generation = world.generation
+        fr.q_flat = np.zeros(world.n_edges, dtype=np.float64)
+        fr.q_built = np.zeros(world.size, dtype=bool)
+        fr.row_complete = world.n_edges == 0
+        fr.q_token = None
+        fr.q_child = None
+        fr.q_child_token = None
+        fr.pos_q_cache = {}
+        fr.valid0 = None
+        fr.st_valid = None
+        fr.st_dead = None
+        fr.liveness_token = None
+        fr.levels_sum = None
+        fr.levels_n = None
+        fr.levels_token = None
+        fr.cost_cache = {}
+
+    def _sync_round_token(self, fr: Frontier) -> None:
+        tok = (fr.round_index, self.world.alpha_generation)
+        if fr.q_token != tok:
+            fr.q_token = tok
+            fr.row_complete = self.world.n_edges == 0
+            fr.q_built[:] = False
+            fr.pos_q_cache.clear()
+            fr.q_child = None
+            fr.q_child_token = None
+
+    def _frontier(self, context: "ForwardingContext", node_id: int) -> Frontier:
+        """The synced frontier for the context's connection.
+
+        ``WorldArrays.ensure_fresh`` (the O(nodes) version scan) runs
+        once per ``(cid, round)`` — between decisions of one round only
+        liveness can move, and that has its own token.
+        """
+        world = self.world
         key = (context.cid, context.round_index)
-        if key != self._q_key:
-            # New round (or a test mutated the context in place): probe
-            # counters and neighbour sets may have advanced since the
-            # last round — re-validate the shared arrays, then drop the
-            # round-scoped quality state.
+        if key != self._last_key:
             world.ensure_fresh()
-            if world.generation != self._world_gen:
-                self._world_gen = world.generation
-                self._reset_for_world()
-            else:
-                self._q_built[:] = False
-                self._q_all = world.n_edges == 0
-                self._levels_sum = None
-                self._levels_n = None
-            self._q_key = key
-        if world.generation != self._world_gen:
-            self._world_gen = world.generation
-            self._reset_for_world()
-            self._q_key = key
-        stamp = context.overlay.liveness_version
-        if stamp != self._liveness_stamp:
-            self._rebuild_liveness(stamp)
+            self._last_key = key
+        elif world.indptr is None or node_id + 1 >= world.indptr.size:
+            world.ensure_fresh()
+        fr = self.frontiers.get(context.cid)
+        if fr is None:
+            fr = self._new_frontier(
+                context.cid, context.round_index, context.responder
+            )
+        fr.round_index = context.round_index
+        if fr.generation != world.generation:
+            self._reset_frontier(fr)
+        if fr.responder != context.responder:
+            fr.responder = context.responder
+            fr.valid0 = None
+            fr.st_valid = None
+            fr.st_dead = None
+            fr.liveness_token = None
+            fr.levels_token = None
+            fr.cost_cache.clear()
+        self._sync_round_token(fr)
+        return fr
 
-    def _rebuild_liveness(self, stamp: int) -> None:
+    # -- liveness ----------------------------------------------------------
+    def _online_mask(self) -> np.ndarray:
+        """Overlay liveness as a bool vector, shared across frontiers
+        within one ``(liveness_version, generation)`` epoch."""
         world = self.world
-        context = self.context
+        key = (world.overlay.liveness_version, world.generation)
+        if key != self._mask_key or self._mask is None:
+            self._mask = world.overlay.online_mask(world.size)
+            self._mask_key = key
+        return self._mask
+
+    def _ensure_liveness(self, fr: Frontier, context: "ForwardingContext") -> None:
+        stamp = context.overlay.liveness_version
+        if fr.liveness_token == stamp and fr.valid0 is not None:
+            return
+        world = self.world
         nbr = world.nbr_flat
-        online = context.overlay.online_mask(world.size)
-        self.valid0_flat = online[nbr] & (nbr != context.responder)
+        online = self._online_mask()
+        fr.valid0 = online[nbr] & (nbr != fr.responder)
         # State-level (SPNE) validity is derived lazily: Model I
         # decisions never touch it, and it is ~branching-factor times
         # larger than the edge axis.
-        self.st_valid = None
-        self.st_dead = None
-        self._levels_sum = None
-        self._levels_n = None
-        self._cost_cache.clear()
-        self._liveness_stamp = stamp
+        fr.st_valid = None
+        fr.st_dead = None
+        fr.cost_cache.clear()
+        fr.liveness_token = stamp
         perf = self._perf
         perf.kernel_calls += 1
         perf.kernel_batch_elements += int(nbr.size)
 
-    def _ensure_state_valid(self) -> None:
-        if self.st_valid is not None:
+    def _ensure_state_valid(self, fr: Frontier) -> None:
+        if fr.st_valid is not None:
             return
         world = self.world
         if world.st_child_edge.size:
-            v0c = self.valid0_flat[world.st_child_edge]
+            v0c = fr.valid0[world.st_child_edge]
             not_pred = v0c & world.st_child_not_pred
             # Scalar fallback rule, per state: exclude the predecessor
             # unless that empties the candidate set.
             has_alt = np.logical_or.reduceat(not_pred, world.st_red_idx)
             use_filtered = np.repeat(has_alt, world.st_counts)
-            self.st_valid = np.where(use_filtered, not_pred, v0c)
-            has_any = np.logical_or.reduceat(self.st_valid, world.st_red_idx)
+            fr.st_valid = np.where(use_filtered, not_pred, v0c)
+            has_any = np.logical_or.reduceat(fr.st_valid, world.st_red_idx)
             has_any[world.st_counts == 0] = False
-            self.st_dead = ~has_any
+            fr.st_dead = ~has_any
         else:
-            self.st_valid = np.zeros(0, dtype=bool)
-            self.st_dead = np.ones(world.n_edges, dtype=bool)
+            fr.st_valid = np.zeros(0, dtype=bool)
+            fr.st_dead = np.ones(world.n_edges, dtype=bool)
 
     # -- quality -----------------------------------------------------------
-    def _ensure_q_node(self, node_id: int) -> None:
-        if self._q_all or self._q_built[node_id]:
+    def _ensure_q_node(self, fr: Frontier, context: "ForwardingContext", node_id: int) -> None:
+        """Lazily score one node's slice (Model I touches only the
+        deciding node's row; also the root row under position-aware
+        scoring with no predecessor)."""
+        if fr.row_complete or fr.q_built[node_id]:
             return
         world = self.world
-        context = self.context
         start = int(world.indptr[node_id])
         end = int(world.indptr[node_id + 1])
         if start == end:
-            self._q_built[node_id] = True
+            fr.q_built[node_id] = True
             return
         nbrs = world.nbr_lists[node_id]
         hits = context.histories[node_id].selectivity_hits_block(
-            context.cid, nbrs, context.round_index
+            fr.cid, nbrs, fr.round_index
         )
-        max_entries = context.round_index - 1
+        max_entries = fr.round_index - 1
         if max_entries == 0:
             sigma = np.zeros(end - start, dtype=np.float64)
         else:
@@ -442,46 +598,204 @@ class KernelView:
             weights.selectivity * sigma
             + weights.availability * world.alpha_flat[start:end]
         )
-        self.q_flat[start:end] = np.minimum(1.0, np.maximum(0.0, q))
-        self._q_built[node_id] = True
+        fr.q_flat[start:end] = np.minimum(1.0, np.maximum(0.0, q))
+        fr.q_built[node_id] = True
         perf = self._perf
         perf.kernel_calls += 1
         perf.kernel_batch_elements += end - start
         perf.edges_scored += end - start
 
-    def _ensure_q_all(self) -> None:
-        if self._q_all:
+    def _ensure_full_rows(self, fr: Frontier, context: "ForwardingContext") -> None:
+        """The cross-connection quality kernel: stack every stale
+        prepared frontier's hit counts into one ``(F, E)`` matrix and
+        score all rows with a single vectorised expression.
+
+        Per-frontier hit gathering stays a Python loop of bisects (rule
+        1 of the bit-identity contract), but the arithmetic — the part
+        that used to run once per node per connection — runs once per
+        batch.  Rows are element-wise independent, so co-batching can
+        never change a row's bits.
+        """
+        fr.wants_full_row = True
+        if fr.row_complete:
             return
-        for node_id in self.world.nbr_lists:
-            self._ensure_q_node(node_id)
-        self._q_all = True
+        world = self.world
+        members = [fr]
+        for other in self.frontiers.values():
+            if other is fr or not (other.wants_full_row and other.prepared):
+                continue
+            other.prepared = False
+            if other.generation != world.generation:
+                self._reset_frontier(other)
+            self._sync_round_token(other)
+            if not other.row_complete:
+                members.append(other)
+        n_edges = world.n_edges
+        hits_mat = np.empty((len(members), n_edges), dtype=np.float64)
+        histories = context.histories
+        for i, member in enumerate(members):
+            row: List[int] = []
+            extend = row.extend
+            cid, rnd = member.cid, member.round_index
+            for nid, lst in world.nbr_lists.items():
+                if lst:
+                    extend(
+                        histories[nid].selectivity_hits_block(cid, lst, rnd)
+                    )
+            hits_mat[i, :] = row
+        max_entries = np.array(
+            [float(member.round_index - 1) for member in members],
+            dtype=np.float64,
+        )
+        # Round-1 rows have all-zero hits, so any positive divisor
+        # reproduces the scalar "no history yet -> sigma = 0" branch.
+        safe = np.where(max_entries > 0.0, max_entries, 1.0)
+        sigma = np.minimum(1.0, hits_mat / safe[:, None])
+        weights = context.weights
+        q = (
+            weights.selectivity * sigma
+            + weights.availability * world.alpha_flat[None, :]
+        )
+        q = np.minimum(1.0, np.maximum(0.0, q))
+        alpha_gen = world.alpha_generation
+        for member, q_row in zip(members, q):
+            member.q_flat = q_row
+            member.q_built = np.ones(world.size, dtype=bool)
+            member.row_complete = True
+            member.q_token = (member.round_index, alpha_gen)
+        if len(members) > self.max_batched_frontiers:
+            self.max_batched_frontiers = len(members)
+        perf = self._perf
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += int(q.size)
+        perf.edges_scored += int(q.size)
+
+    def _ensure_q_child(self, fr: Frontier, context: "ForwardingContext") -> None:
+        """Position-aware base quality per (state, child): the edge
+        ``head(e) -> child`` scored against selectivity conditioned on
+        ``owner(e)`` — the predecessor the SPNE state already encodes."""
+        tok = (fr.round_index, self.world.alpha_generation)
+        if fr.q_child is not None and fr.q_child_token == tok:
+            return
+        world = self.world
+        total = int(world.st_child_edge.size)
+        histories = context.histories
+        cid, rnd = fr.cid, fr.round_index
+        hits: List[int] = []
+        extend = hits.extend
+        heads = world.nbr_flat.tolist()
+        owners = world.owner_flat.tolist()
+        nbr_lists = world.nbr_lists
+        for e in range(len(heads)):
+            lst = nbr_lists.get(heads[e])
+            if lst:
+                extend(
+                    histories[heads[e]].selectivity_hits_block_pos(
+                        cid, owners[e], lst, rnd
+                    )
+                )
+        max_entries = rnd - 1
+        if max_entries == 0:
+            sigma = np.zeros(total, dtype=np.float64)
+        else:
+            sigma = np.minimum(
+                1.0, np.asarray(hits, dtype=np.float64) / max_entries
+            )
+        weights = context.weights
+        q = (
+            weights.selectivity * sigma
+            + weights.availability * world.alpha_flat[world.st_child_edge]
+        )
+        fr.q_child = np.minimum(1.0, np.maximum(0.0, q))
+        fr.q_child_token = tok
+        perf = self._perf
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += total
+        perf.edges_scored += total
+
+    def _pos_q(
+        self, fr: Frontier, context: "ForwardingContext", node_id: int, predecessor: int
+    ) -> np.ndarray:
+        """Root-decision quality slice for ``node_id`` conditioned on the
+        actual ``predecessor``.  Computed directly from the node's own
+        candidate list — the edge ``predecessor -> node`` need not exist
+        in the CSR (neighbour sets are not symmetric), so this cannot be
+        a ``q_child`` lookup."""
+        key = (node_id, predecessor)
+        cached = fr.pos_q_cache.get(key)
+        if cached is not None:
+            return cached
+        world = self.world
+        start = int(world.indptr[node_id])
+        end = int(world.indptr[node_id + 1])
+        nbrs = world.nbr_lists[node_id]
+        hits = context.histories[node_id].selectivity_hits_block_pos(
+            fr.cid, predecessor, nbrs, fr.round_index
+        )
+        max_entries = fr.round_index - 1
+        if max_entries == 0:
+            sigma = np.zeros(end - start, dtype=np.float64)
+        else:
+            sigma = np.minimum(
+                1.0, np.asarray(hits, dtype=np.float64) / max_entries
+            )
+        weights = context.weights
+        q = (
+            weights.selectivity * sigma
+            + weights.availability * world.alpha_flat[start:end]
+        )
+        q = np.minimum(1.0, np.maximum(0.0, q))
+        fr.pos_q_cache[key] = q
+        perf = self._perf
+        perf.kernel_calls += 1
+        perf.kernel_batch_elements += end - start
+        perf.edges_scored += end - start
+        return q
 
     # -- SPNE value tables ---------------------------------------------------
-    def _ensure_levels(self, depth: int) -> None:
-        """Level-batched backward induction: ``_levels_sum[d][e]`` /
-        ``_levels_n[d][e]`` are the scalar memo's ``(best_sum, best_n)``
+    def _ensure_levels(
+        self,
+        fr: Frontier,
+        context: "ForwardingContext",
+        depth: int,
+        position_aware: bool,
+    ) -> None:
+        """Level-batched backward induction: ``levels_sum[d][e]`` /
+        ``levels_n[d][e]`` are the scalar memo's ``(best_sum, best_n)``
         for state ``e`` with ``d`` edges of lookahead left."""
         world = self.world
         n_edges = world.n_edges
-        self._ensure_state_valid()
-        if self._levels_sum is None or self._levels_n is None:
-            self._levels_sum = [np.zeros(n_edges, dtype=np.float64)]
-            self._levels_n = [np.zeros(n_edges, dtype=np.int64)]
+        self._ensure_state_valid(fr)
+        tok = (
+            fr.round_index,
+            world.alpha_generation,
+            fr.liveness_token,
+            position_aware,
+        )
+        if fr.levels_sum is None or fr.levels_token != tok:
+            fr.levels_sum = [np.zeros(n_edges, dtype=np.float64)]
+            fr.levels_n = [np.zeros(n_edges, dtype=np.int64)]
+            fr.levels_token = tok
+        base_q = fr.q_child if position_aware else fr.q_flat
         perf = self._perf
-        while len(self._levels_sum) <= depth:
+        while len(fr.levels_sum) <= depth:
             child_edge = world.st_child_edge
             if child_edge.size == 0:
-                self._levels_sum.append(self._levels_sum[0])
-                self._levels_n.append(self._levels_n[0])
+                fr.levels_sum.append(fr.levels_sum[0])
+                fr.levels_n.append(fr.levels_n[0])
                 continue
-            prev_sum = self._levels_sum[-1]
-            prev_n = self._levels_n[-1]
-            total_sum = self.q_flat[child_edge] + prev_sum[child_edge]
+            prev_sum = fr.levels_sum[-1]
+            prev_n = fr.levels_n[-1]
+            if position_aware:
+                # q_child is already laid out on the flat child axis.
+                total_sum = base_q + prev_sum[child_edge]
+            else:
+                total_sum = base_q[child_edge] + prev_sum[child_edge]
             total_n = 1 + prev_n[child_edge]
             mean = total_sum / total_n
             # Invalid children get a sentinel below every reachable mean
             # (means are >= 0; the scalar loop's initial best is -1.0).
-            masked = np.where(self.st_valid, mean, -2.0)
+            masked = np.where(fr.st_valid, mean, -2.0)
             seg_max = np.maximum.reduceat(masked, world.st_red_idx)
             # First index attaining the segment max == the scalar loop's
             # strict-`>` first winner (children are in ascending-id,
@@ -492,17 +806,17 @@ class KernelView:
             sel = np.minimum(first, child_edge.size - 1)
             new_sum = total_sum[sel]
             new_n = total_n[sel]
-            dead = self.st_dead
+            dead = fr.st_dead
             new_sum[dead] = 0.0
             new_n[dead] = 0
-            self._levels_sum.append(new_sum)
-            self._levels_n.append(new_n)
+            fr.levels_sum.append(new_sum)
+            fr.levels_n.append(new_n)
             perf.kernel_calls += 1
             perf.kernel_batch_elements += int(child_edge.size)
 
     # -- candidates & costs -------------------------------------------------
     def _candidates(
-        self, node_id: int, predecessor: Optional[int]
+        self, fr: Frontier, node_id: int, predecessor: Optional[int]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(flat edge indices, neighbour ids) of the candidate set, in
         ascending-id order — the scalar ``candidates()`` semantics."""
@@ -510,7 +824,7 @@ class KernelView:
         start = int(world.indptr[node_id])
         end = int(world.indptr[node_id + 1])
         ids = world.nbr_flat[start:end]
-        valid = self.valid0_flat[start:end]
+        valid = fr.valid0[start:end]
         if predecessor is not None:
             without_pred = valid & (ids != predecessor)
             if without_pred.any():
@@ -520,6 +834,8 @@ class KernelView:
 
     def _costs(
         self,
+        fr: Frontier,
+        context: "ForwardingContext",
         node_id: int,
         predecessor: Optional[int],
         participation_cost: float,
@@ -535,10 +851,9 @@ class KernelView:
         skipping them cannot shift the RNG stream.
         """
         key = (node_id, predecessor)
-        cached = self._cost_cache.get(key)
+        cached = fr.cost_cache.get(key)
         if cached is not None:
             return cached
-        context = self.context
         decision_cost = context.cost_model.decision_cost
         payload = context.contract.payload_size
         out = np.array(
@@ -548,28 +863,36 @@ class KernelView:
             ],
             dtype=np.float64,
         )
-        self._cost_cache[key] = out
+        fr.cost_cache[key] = out
         return out
 
     # -- decisions ----------------------------------------------------------
     def decide_model1(
-        self, strategy, node, predecessor: Optional[int]
+        self, strategy, node, predecessor: Optional[int], context: "ForwardingContext"
     ) -> Optional[int]:
         """Batched Utility Model I: whole candidate set -> utility vector,
         arraywise argmax with the quality/id tie-break."""
         node_id = node.node_id
-        self._sync(node_id)
-        self._ensure_q_node(node_id)
-        cand_idx, cand_ids = self._candidates(node_id, predecessor)
+        fr = self._frontier(context, node_id)
+        self._ensure_liveness(fr, context)
+        cand_idx, cand_ids = self._candidates(fr, node_id, predecessor)
         if cand_ids.size == 0:
             return None
-        q = self.q_flat[cand_idx]
-        cost = self._costs(node_id, predecessor, node.participation_cost, cand_ids)
+        sel_pred = context.selectivity_predecessor(predecessor)
+        if sel_pred is None:
+            self._ensure_q_node(fr, context, node_id)
+            q = fr.q_flat[cand_idx]
+        else:
+            start = int(self.world.indptr[node_id])
+            q = self._pos_q(fr, context, node_id, sel_pred)[cand_idx - start]
+        cost = self._costs(
+            fr, context, node_id, predecessor, node.participation_cost, cand_ids
+        )
         if q.min() < 0.0 or q.max() > 1.0:
             raise ValueError(f"edge quality out of [0,1]: {q}")
         if cost.min() < 0:
             raise ValueError(f"negative cost {cost.min()}")
-        contract = self.context.contract
+        contract = context.contract
         utility = (
             contract.forwarding_benefit + q * contract.routing_benefit - cost
         )
@@ -583,29 +906,43 @@ class KernelView:
         return int(cand_ids[pos])
 
     def decide_model2(
-        self, strategy, node, predecessor: Optional[int]
+        self, strategy, node, predecessor: Optional[int], context: "ForwardingContext"
     ) -> Optional[int]:
         """Batched Utility Model II: level-synchronous backward induction
         over edge states, then one vectorised root decision."""
         node_id = node.node_id
-        self._sync(node_id)
-        cand_idx, cand_ids = self._candidates(node_id, predecessor)
+        fr = self._frontier(context, node_id)
+        self._ensure_liveness(fr, context)
+        cand_idx, cand_ids = self._candidates(fr, node_id, predecessor)
         if cand_ids.size == 0:
             return None
-        self._ensure_q_all()
-        self._ensure_levels(strategy.lookahead)
-        assert self._levels_sum is not None and self._levels_n is not None
-        tail_sum = self._levels_sum[strategy.lookahead][cand_idx]
-        tail_n = self._levels_n[strategy.lookahead][cand_idx]
+        position_aware = context.position_aware_selectivity
+        if position_aware:
+            self._ensure_q_child(fr, context)
+        else:
+            self._ensure_full_rows(fr, context)
+        self._ensure_levels(fr, context, strategy.lookahead, position_aware)
+        assert fr.levels_sum is not None and fr.levels_n is not None
+        tail_sum = fr.levels_sum[strategy.lookahead][cand_idx]
+        tail_n = fr.levels_n[strategy.lookahead][cand_idx]
+        sel_pred = context.selectivity_predecessor(predecessor)
+        if sel_pred is None:
+            self._ensure_q_node(fr, context, node_id)
+            q_root = fr.q_flat[cand_idx]
+        else:
+            start = int(self.world.indptr[node_id])
+            q_root = self._pos_q(fr, context, node_id, sel_pred)[cand_idx - start]
         # Terminal delivery edge (quality 1) appended, then normalised —
         # same expression tree as the scalar path_quality_through.
-        path_q = (self.q_flat[cand_idx] + tail_sum + 1.0) / (tail_n + 2)
+        path_q = (q_root + tail_sum + 1.0) / (tail_n + 2)
         if path_q.min() < 0.0 or path_q.max() > 1.0:
             raise ValueError(f"path quality out of [0,1]: {path_q}")
-        cost = self._costs(node_id, predecessor, node.participation_cost, cand_ids)
+        cost = self._costs(
+            fr, context, node_id, predecessor, node.participation_cost, cand_ids
+        )
         if cost.min() < 0:
             raise ValueError(f"negative cost {cost.min()}")
-        contract = self.context.contract
+        contract = context.contract
         utility = (
             contract.forwarding_benefit + path_q * contract.routing_benefit - cost
         )

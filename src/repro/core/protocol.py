@@ -35,7 +35,12 @@ from repro.core.contracts import Contract
 from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights
 from repro.core.history import HistoryProfile
-from repro.core.kernels import WorldArrays, default_backend, validate_backend
+from repro.core.kernels import (
+    BatchPlanner,
+    WorldArrays,
+    default_backend,
+    validate_backend,
+)
 from repro.core.path import Path, PathFailure, SeriesLog
 from repro.core.routing import (
     ForwardingContext,
@@ -154,6 +159,13 @@ class PathBuilder:
     #: ``REPRO_BACKEND`` environment variable, defaulting to the scalar
     #: reference), or pass ``"python"``/``"numpy"`` explicitly.
     backend: Optional[str] = None
+    #: Small-world crossover for the numpy backend (see
+    #: :class:`ForwardingContext.kernel_crossover`); tests pin this to
+    #: False to force the kernels on small worlds.
+    kernel_crossover: bool = True
+    #: Position-aware selectivity (§2.3 predecessor differentiation) for
+    #: every context this builder creates — both backends support it.
+    position_aware: bool = False
     #: Cumulative reformation count across all rounds built.
     reformations: int = 0
     #: Hops lost to failure injection.
@@ -162,6 +174,12 @@ class PathBuilder:
     #: first round built so topology/availability arrays amortise across
     #: every round and series this builder serves.
     _world: Optional[WorldArrays] = field(default=None, repr=False, compare=False)
+    #: Shared :class:`BatchPlanner` over ``_world``: one frontier per
+    #: connection, so concurrent series' quality rows are scored in one
+    #: stacked kernel call (see :meth:`BatchPlanner.prepare`).
+    _planner: Optional[BatchPlanner] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -182,10 +200,13 @@ class PathBuilder:
 
     def _context(self, cid: int, round_index: int, contract: Contract, responder: int) -> ForwardingContext:
         world = None
+        planner = None
         if self.backend == "numpy":
             if self._world is None:
                 self._world = WorldArrays(self.overlay)
+                self._planner = BatchPlanner(self._world)
             world = self._world
+            planner = self._planner
         return ForwardingContext(
             cid=cid,
             round_index=round_index,
@@ -196,9 +217,12 @@ class PathBuilder:
             histories=self.histories,
             rng=self.rng,
             weights=self.weights,
+            position_aware_selectivity=self.position_aware,
             tracer=self.tracer,
             backend=self.backend,
+            kernel_crossover=self.kernel_crossover,
             world=world,
+            planner=planner,
         )
 
     def build_round(
@@ -238,6 +262,11 @@ class PathBuilder:
                         forwarders=tuple(forwarders),
                     )
                     self._commit(path)
+                    if self._planner is not None:
+                        # Announce the next round now that its history is
+                        # final: another connection's decision can score
+                        # this one's quality row inside its own batch.
+                        self._planner.prepare(cid, round_index + 1, responder)
                     if self.bus is not None:
                         self.bus.emit(
                             "path.form",
@@ -493,13 +522,23 @@ class ConnectionSeries:
 
     def settlement(self) -> Dict[int, float]:
         """What the initiator owes each forwarder at series end:
-        ``m_x * P_f + P_r / ||pi||`` (§2.2).  Empty if no round completed."""
+        ``m_x * P_f + P_r / ||pi||`` (§2.2).  Empty if no round completed.
+
+        Amounts are computed in one vectorised expression over the
+        union set.  ``int64 * float64 + float64`` rounds identically to
+        the scalar per-member arithmetic, and the result dict preserves
+        the union set's iteration order — downstream float
+        accumulations (escrow budgets, payoff means) see the exact
+        sequence the per-member loop produced.
+        """
         union = self.log.union_forwarder_set()
         if not union:
             return {}
         share = self.contract.routing_benefit / len(union)
         instances = self.log.total_instances()
-        return {
-            x: instances.get(x, 0) * self.contract.forwarding_benefit + share
-            for x in union
-        }
+        ids = list(union)
+        counts = np.fromiter(
+            (instances.get(x, 0) for x in ids), dtype=np.int64, count=len(ids)
+        )
+        amounts = counts * self.contract.forwarding_benefit + share
+        return dict(zip(ids, amounts.tolist()))

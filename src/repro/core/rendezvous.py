@@ -196,10 +196,17 @@ class MutualConnection:
             if not union:
                 return {}
             share = self.contract.routing_benefit / len(union)
-            return {
-                x: instances.get(x, 0) * self.contract.forwarding_benefit + share
-                for x in union
-            }
+            # Vectorised over the union set, preserving its iteration
+            # order (int64 * float64 + float64 matches the scalar
+            # per-member arithmetic bit for bit).
+            ids = list(union)
+            counts = np.fromiter(
+                (instances.get(x, 0) for x in ids),
+                dtype=np.int64,
+                count=len(ids),
+            )
+            amounts = counts * self.contract.forwarding_benefit + share
+            return dict(zip(ids, amounts.tolist()))
 
         return (
             settle([mp.initiator_half for mp in self.paths]),

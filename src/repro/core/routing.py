@@ -32,7 +32,13 @@ from repro.core.contracts import Contract
 from repro.core.costs import CostModel
 from repro.core.edge_quality import QualityWeights, edge_quality
 from repro.core.history import HistoryProfile
-from repro.core.kernels import KernelView, WorldArrays, validate_backend
+from repro.core.kernels import (
+    MODEL1_KERNEL_MIN_CANDIDATES,
+    MODEL2_KERNEL_MIN_NODES,
+    BatchPlanner,
+    WorldArrays,
+    validate_backend,
+)
 from repro.core.utility import forwarder_utility_model1, forwarder_utility_model2
 from repro.network.node import PeerNode
 from repro.network.overlay import Overlay
@@ -109,36 +115,61 @@ class ForwardingContext:
     #: (batched kernels, :mod:`repro.core.kernels`).  Both produce
     #: bit-identical decisions; the utility strategies dispatch on this.
     backend: str = "python"
+    #: Small-world crossover: when True (the default), tiny decisions
+    #: stay on the scalar loop even under ``backend="numpy"`` — the
+    #: array bookkeeping costs more than it saves below the measured
+    #: batch-size thresholds (see repro.core.kernels).  Both branches
+    #: are bit-identical, so mixing them within one run is sound; tests
+    #: pin this to False to force the kernels on small worlds.
+    kernel_crossover: bool = True
     #: Shared array world for the numpy backend; the protocol layer
     #: passes one :class:`WorldArrays` across all rounds it builds so
     #: topology/availability arrays amortise.  Lazily created here when
     #: a bare context is used with ``backend="numpy"``.
     world: Optional[WorldArrays] = field(default=None, repr=False)
-    _kernel_view: Optional[KernelView] = field(default=None, repr=False)
+    #: Shared round-level batch planner (numpy backend); the protocol
+    #: layer passes one :class:`BatchPlanner` across every round and
+    #: connection it builds so quality rows batch across connections.
+    #: Lazily created here when a bare context is used standalone.
+    planner: Optional[BatchPlanner] = field(default=None, repr=False)
     #: Liveness snapshot marker for :meth:`begin_attempt`.
     _liveness_stamp: Optional[int] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
 
-    def kernel_view(self) -> KernelView:
-        """The context's array-kernel state (numpy backend), lazily built."""
-        view = self._kernel_view
-        if view is None:
+    def batch_planner(self) -> BatchPlanner:
+        """The context's batch planner (numpy backend), lazily built."""
+        planner = self.planner
+        if planner is None:
             if self.world is None:
                 self.world = WorldArrays(self.overlay)
-            view = KernelView(self.world, self)
-            self._kernel_view = view
-        return view
+            planner = BatchPlanner(self.world)
+            self.planner = planner
+        return planner
 
     def use_kernels(self) -> bool:
-        """True when decisions should run on the batched numpy kernels.
+        """True when this context's backend is the batched numpy kernels
+        (position-aware selectivity included — predecessor-conditioned
+        scoring runs in state space; see repro.core.kernels)."""
+        return self.backend == "numpy"
 
-        Position-aware selectivity conditions ``sigma`` on the upstream
-        hop, which breaks the one-score-per-edge array layout — such
-        contexts always take the scalar path.
-        """
-        return self.backend == "numpy" and not self.position_aware_selectivity
+    def use_kernels_model1(self, node: PeerNode) -> bool:
+        """Model I dispatch: kernels, unless the candidate set is too
+        small to beat the scalar loop (the small-world crossover)."""
+        return self.use_kernels() and (
+            not self.kernel_crossover
+            or len(node.neighbors) >= MODEL1_KERNEL_MIN_CANDIDATES
+        )
+
+    def use_kernels_model2(self) -> bool:
+        """Model II dispatch: kernels, unless the overlay is too small —
+        the SPNE tables batch over every directed edge, so the win
+        scales with the population, not the local degree."""
+        return self.use_kernels() and (
+            not self.kernel_crossover
+            or len(self.overlay.nodes) >= MODEL2_KERNEL_MIN_NODES
+        )
 
     def begin_attempt(self) -> None:
         """Mark the start of one path-formation attempt.
@@ -330,8 +361,10 @@ class UtilityModelI(RoutingStrategy):
         predecessor: Optional[int],
         context: ForwardingContext,
     ) -> Optional[int]:
-        if context.use_kernels():
-            return context.kernel_view().decide_model1(self, node, predecessor)
+        if context.use_kernels_model1(node):
+            return context.batch_planner().decide_model1(
+                self, node, predecessor, context
+            )
         best = _argmax_with_quality_tiebreak(
             _score_edges_model1(node, predecessor, context)
         )
@@ -444,9 +477,9 @@ class UtilityModelII(RoutingStrategy):
         # One shared SPNE memo for the entire candidate set: overlapping
         # downstream subtrees are expanded exactly once per decision.
         with context.tracer.span("spne.decide"):
-            if context.use_kernels():
-                return context.kernel_view().decide_model2(
-                    self, node, predecessor
+            if context.use_kernels_model2():
+                return context.batch_planner().decide_model2(
+                    self, node, predecessor, context
                 )
             memo: Dict[Tuple[int, Optional[int], int], Tuple[float, int]] = {}
             scored: List[Tuple[float, float, int]] = []

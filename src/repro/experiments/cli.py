@@ -71,7 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend", choices=("python", "numpy"), default=None,
         help="scoring backend: scalar reference or batched numpy kernels "
-             "(bit-identical decisions; default: $REPRO_BACKEND or python)",
+             "(bit-identical decisions; default: $REPRO_BACKEND or numpy)",
+    )
+    run_p.add_argument(
+        "--position-aware", action="store_true",
+        help="condition selectivity on the predecessor hop (§2.3 "
+             "predecessor differentiation; supported by both backends)",
     )
     run_p.add_argument(
         "--fault-severity", type=float, default=0.0, metavar="S",
@@ -163,6 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         obs=obs_config,
         backend=args.backend,
+        position_aware=args.position_aware,
     )
     result = run_scenario(cfg)
     print(result.summary())

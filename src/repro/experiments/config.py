@@ -164,6 +164,11 @@ class ExperimentConfig:
     weight_selectivity: float = 0.5
     weight_availability: float = 0.5
     lookahead: int = 2  # utility-II backward-induction depth
+    #: Position-aware selectivity (§2.3 predecessor differentiation):
+    #: history entries only count towards ``sigma`` when their
+    #: predecessor matches the payload's upstream hop.  Supported by
+    #: both scoring backends.
+    position_aware: bool = False
     # --- forwarding
     forward_probability: float = 0.7  # Crowds p_f
     termination: str = "crowds"  # 'crowds' | 'ttl'
@@ -234,7 +239,9 @@ class ExperimentConfig:
     # --- scoring backend (repro.core.kernels)
     #: ``"python"`` (scalar reference), ``"numpy"`` (batched array
     #: kernels — bit-identical decisions, faster), or None to resolve
-    #: the ``REPRO_BACKEND`` environment variable at run time.
+    #: the ``REPRO_BACKEND`` environment variable at run time (falling
+    #: back to the ``"numpy"`` default when the variable is unset; pin
+    #: ``REPRO_BACKEND=python`` to keep the scalar reference).
     backend: Optional[str] = None
 
     def __post_init__(self):

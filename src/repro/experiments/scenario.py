@@ -512,6 +512,7 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         bus=bus,
         tracer=tracer,
         backend=config.backend,
+        position_aware=config.position_aware,
     )
 
     # ---- bank -------------------------------------------------------------

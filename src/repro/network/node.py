@@ -251,6 +251,35 @@ class PeerNode:
         if now is not None:
             view.last_seen = now
 
+    def credit_session_times(
+        self, neighbor_ids: Iterable[int], delta: float, now: Optional[float] = None
+    ) -> None:
+        """Batched probe bookkeeping: grow several live neighbours'
+        counters by ``delta`` with a *single* cache invalidation.
+
+        Per-view float updates are the same ``+= delta`` the per-call
+        path performs (bit-identical counters); only the invalidation is
+        coalesced, which the dirty flag makes equivalent to invalidating
+        after every write.  Membership is validated before any counter
+        moves, so a bad id leaves the node untouched.
+        """
+        if delta < 0:
+            raise ValueError(f"negative probe credit {delta}")
+        views = []
+        for neighbor_id in neighbor_ids:
+            view = self.neighbors.get(neighbor_id)
+            if view is None:
+                raise KeyError(
+                    f"{neighbor_id} is not a neighbour of {self.node_id}"
+                )
+            views.append(view)
+        for view in views:
+            view._session_time += delta
+            if now is not None:
+                view.last_seen = now
+        if views:
+            self._invalidate_availability()
+
     # -- availability estimate (§2.3) --------------------------------------
     def _refresh_availability(self) -> Dict[int, float]:
         """Rebuild the cached ``id -> alpha`` normalisation (O(d))."""

@@ -137,6 +137,12 @@ class Overlay:
     def online_count(self) -> int:
         return len(self._online)
 
+    def id_space(self) -> int:
+        """Size of the id space: every node id ever issued is strictly
+        below this.  The right ``size`` for :meth:`online_mask` when the
+        mask must cover arbitrary neighbour references."""
+        return self._next_id
+
     def online_mask(self, size: int) -> np.ndarray:
         """Boolean liveness vector indexed by node id (``mask[i]`` iff node
         ``i`` is online).  ``size`` must cover the id space the caller

@@ -68,6 +68,7 @@ def run_probe_round(
     fault_injector: "Optional[FaultInjector]" = None,
     retry: "Optional[RetryPolicy]" = None,
     bus: "Optional[EventBus]" = None,
+    online_mask: "Optional[np.ndarray]" = None,
 ) -> dict:
     """One probing round for one node.  Returns a small stats dict.
 
@@ -85,6 +86,17 @@ def run_probe_round(
     replaced like a genuinely dead one — a false positive the §2.3
     estimator has to absorb).  The returned dict gains a ``timed_out``
     count for those false declarations.
+
+    ``online_mask`` (an :meth:`Overlay.online_mask` vector covering
+    :meth:`Overlay.id_space`) lets a sweep over many nodes share one
+    liveness snapshot.  Without a fault injector the whole round then
+    runs array-native: liveness is one gather, all live credits land in
+    one batched counter update (single cache invalidation), and only
+    dead neighbours fall back to per-id replacement.  Equivalent to the
+    per-neighbour loop — fault-free probes draw no randomness, credits
+    never change membership, and dead neighbours are processed in their
+    original relative order, so every replacement sees the same
+    exclusion set and the same RNG stream.
     """
     if period <= 0:
         raise ValueError(f"probe period must be positive, got {period}")
@@ -96,28 +108,49 @@ def run_probe_round(
             return discovery(node_id, exclude)
         return overlay.random_online_peer(exclude=exclude)
 
+    def replace_one(nbr_id: int) -> int:
+        node.remove_neighbor(nbr_id)
+        if not replace_dead:
+            return 0
+        candidate = find_replacement()
+        if candidate is None:
+            return 0
+        node.add_neighbor(
+            candidate, initial_session_time=float(rng.uniform(0.0, period))
+        )
+        return 1
+
     alive = dead = replaced = timed_out = 0
-    for nbr_id in list(node.neighbors):
-        if overlay.is_online(nbr_id) and _probe_alive(
-            fault_injector, retry, bus=bus, prober_id=node_id, neighbor=nbr_id
-        ):
-            # Route the counter update through the node so its cached
-            # availability normalisation is invalidated.
-            node.credit_session_time(nbr_id, period, now=now)
-            alive += 1
-        else:
-            if overlay.is_online(nbr_id):
-                timed_out += 1  # live neighbour lost to probe timeouts
+    if fault_injector is None and node.neighbors:
+        # Fault-free fast path: probes always succeed, so liveness alone
+        # partitions the neighbour set and no per-probe RNG is drawn.
+        ids = np.fromiter(
+            node.neighbors, dtype=np.int64, count=len(node.neighbors)
+        )
+        top = int(ids.max()) + 1
+        if online_mask is None or online_mask.size < top:
+            online_mask = overlay.online_mask(max(overlay.id_space(), top))
+        live = online_mask[ids]
+        live_ids = ids[live]
+        node.credit_session_times(live_ids.tolist(), period, now=now)
+        alive = int(live_ids.size)
+        for nbr_id in ids[~live].tolist():
             dead += 1
-            node.remove_neighbor(nbr_id)
-            if replace_dead:
-                candidate = find_replacement()
-                if candidate is not None:
-                    node.add_neighbor(
-                        candidate,
-                        initial_session_time=float(rng.uniform(0.0, period)),
-                    )
-                    replaced += 1
+            replaced += replace_one(nbr_id)
+    elif fault_injector is not None:
+        for nbr_id in list(node.neighbors):
+            if overlay.is_online(nbr_id) and _probe_alive(
+                fault_injector, retry, bus=bus, prober_id=node_id, neighbor=nbr_id
+            ):
+                # Route the counter update through the node so its cached
+                # availability normalisation is invalidated.
+                node.credit_session_time(nbr_id, period, now=now)
+                alive += 1
+            else:
+                if overlay.is_online(nbr_id):
+                    timed_out += 1  # live neighbour lost to probe timeouts
+                dead += 1
+                replaced += replace_one(nbr_id)
     # Top up if the set shrank below the target degree in earlier rounds.
     if replace_dead:
         while len(node.neighbors) < node.degree:
@@ -173,6 +206,11 @@ class ActiveProber:
                     self.on_period()
                 totals = {"alive": 0, "dead": 0, "replaced": 0, "timed_out": 0}
                 probed = 0
+                # One liveness snapshot for the whole sweep: the sweep is
+                # synchronous (no yields), so membership only changes
+                # through the sweep's own replacements — and those are
+                # drawn from the online set, never flipping a mask bit.
+                online_mask = self.overlay.online_mask(self.overlay.id_space())
                 for node_id in self.overlay.online_ids():
                     stats = run_probe_round(
                         self.overlay,
@@ -184,6 +222,7 @@ class ActiveProber:
                         fault_injector=self.fault_injector,
                         retry=self.retry,
                         bus=self.bus,
+                        online_mask=online_mask,
                     )
                     for key in totals:
                         totals[key] += stats[key]

@@ -1,0 +1,50 @@
+"""PERF003 fixture: array-world construction inside loops."""
+
+from repro.core.kernels import BatchPlanner, WorldArrays
+
+
+def rebuild_per_round(overlay, rounds):
+    totals = 0
+    for _ in range(rounds):
+        world = WorldArrays(overlay)  # PERF003: full re-snapshot per round
+        totals += world.n_edges
+    return totals
+
+
+def rebuild_planner_in_while(overlay, budget):
+    spent = 0
+    while spent < budget:
+        planner = BatchPlanner(WorldArrays(overlay))  # PERF003: twice here
+        spent += planner.max_batched_frontiers + 1
+    return spent
+
+
+def qualified_rebuild(overlay, items):
+    import repro.core.kernels as kernels
+
+    out = []
+    for item in items:
+        out.append(kernels.WorldArrays(overlay))  # PERF003: via module alias
+    return out
+
+
+def amortised_ok(overlay, rounds):
+    world = WorldArrays(overlay)  # built once outside the loop: fine
+    planner = BatchPlanner(world)
+    total = 0
+    for _ in range(rounds):
+        world.ensure_fresh()
+        total += planner.max_batched_frontiers
+    return total
+
+
+def factory_ok(overlay):
+    def make():
+        # A def inside a loop binds; construction here runs on call, and
+        # this body has no loop of its own.
+        return WorldArrays(overlay)
+
+    builders = []
+    for _ in range(3):
+        builders.append(make)
+    return builders

@@ -27,6 +27,7 @@ class TestRegistry:
             "DET004",
             "PERF001",
             "PERF002",
+            "PERF003",
         ]
 
     def test_duplicate_code_rejected(self):
@@ -247,6 +248,88 @@ class TestPerf002:
             return peek
         """
         assert run_rule("PERF002", src) == []
+
+
+class TestPerf003:
+    def test_world_construction_in_for_loop_flagged(self):
+        src = """
+        from repro.core.kernels import WorldArrays
+
+        def f(overlay, rounds):
+            for _ in range(rounds):
+                world = WorldArrays(overlay)
+        """
+        (f,) = run_rule("PERF003", src)
+        assert "WorldArrays" in f.message
+
+    def test_planner_construction_in_while_loop_flagged(self):
+        src = """
+        from repro.core.kernels import BatchPlanner
+
+        def f(world, n):
+            i = 0
+            while i < n:
+                planner = BatchPlanner(world)
+                i += 1
+        """
+        assert len(run_rule("PERF003", src)) == 1
+
+    def test_module_alias_resolution(self):
+        src = """
+        import repro.core.kernels as kernels
+
+        def f(overlay, items):
+            return [kernels.WorldArrays(overlay) for _ in items]
+        """
+        # Comprehensions are not loop bodies for this rule (parity with
+        # PERF001's traversal) — but an explicit loop through the alias is.
+        src_loop = """
+        import repro.core.kernels as kernels
+
+        def f(overlay, items):
+            out = []
+            for _ in items:
+                out.append(kernels.WorldArrays(overlay))
+            return out
+        """
+        assert run_rule("PERF003", src) == []
+        assert len(run_rule("PERF003", src_loop)) == 1
+
+    def test_construction_outside_loop_not_flagged(self):
+        src = """
+        from repro.core.kernels import BatchPlanner, WorldArrays
+
+        def f(overlay, rounds):
+            world = WorldArrays(overlay)
+            planner = BatchPlanner(world)
+            for _ in range(rounds):
+                world.ensure_fresh()
+        """
+        assert run_rule("PERF003", src) == []
+
+    def test_scoped_to_core_and_network_layers(self):
+        src = """
+        from repro.core.kernels import WorldArrays
+
+        def f(overlay, rounds):
+            for _ in range(rounds):
+                world = WorldArrays(overlay)
+        """
+        assert len(run_rule("PERF003", src, "repro/core/x.py")) == 1
+        assert len(run_rule("PERF003", src, "repro/network/x.py")) == 1
+        assert run_rule("PERF003", src, "repro/experiments/x.py") == []
+        assert run_rule("PERF003", src, "tests/core/x.py") == []
+
+    def test_nested_function_resets_loop_state(self):
+        src = """
+        from repro.core.kernels import WorldArrays
+
+        def f(overlay, rounds):
+            for _ in range(rounds):
+                def make():
+                    return WorldArrays(overlay)
+        """
+        assert run_rule("PERF003", src) == []
 
 
 class TestArch001:

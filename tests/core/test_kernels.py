@@ -56,7 +56,20 @@ def make_world(seed, n=14, degree=4, rounds_of_history=6, offline=()):
     return ov, histories
 
 
-def make_context(ov, histories, backend, world=None, cost_model=None, round_index=7):
+def make_context(
+    ov,
+    histories,
+    backend,
+    world=None,
+    cost_model=None,
+    round_index=7,
+    position_aware=False,
+    kernel_crossover=False,
+):
+    # The differential worlds here are deliberately tiny, below the
+    # small-world crossover thresholds — disable the heuristic so the
+    # numpy lane actually exercises the kernels (dispatch itself is
+    # covered by the crossover tests below).
     return ForwardingContext(
         cid=1,
         round_index=round_index,
@@ -69,10 +82,14 @@ def make_context(ov, histories, backend, world=None, cost_model=None, round_inde
         weights=QualityWeights(),
         backend=backend,
         world=world,
+        position_aware_selectivity=position_aware,
+        kernel_crossover=kernel_crossover,
     )
 
 
-def both_backend_choices(ov, histories, strategy, node, predecessor, seed=0):
+def both_backend_choices(
+    ov, histories, strategy, node, predecessor, seed=0, position_aware=False
+):
     """(python choice, numpy choice) for one decision, each backend with
     its own RNG-coupled bandwidth cost model seeded identically — the
     lazy per-link draws must land on the same links in the same order."""
@@ -81,7 +98,9 @@ def both_backend_choices(ov, histories, strategy, node, predecessor, seed=0):
         cost = CostModel(
             bandwidth=BandwidthModel(rng=np.random.default_rng(seed))
         )
-        ctx = make_context(ov, histories, backend, cost_model=cost)
+        ctx = make_context(
+            ov, histories, backend, cost_model=cost, position_aware=position_aware
+        )
         choices.append(strategy.select_next_hop(node, predecessor, ctx))
     return choices
 
@@ -110,13 +129,45 @@ def test_backends_pick_identical_hops(seed, lookahead, n_offline, data):
             assert scalar == batched, (seed, start, predecessor, strategy)
 
 
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    lookahead=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_backends_pick_identical_hops_position_aware(seed, lookahead, data):
+    """§2.3 predecessor differentiation no longer forces the scalar path:
+    with position-aware selectivity on, the numpy lane scores edges
+    against the payload's upstream hop (per-(state, child) qualities in
+    the lookahead; per-(node, pred) vectors at the root) and must still
+    match the scalar reference decision for decision."""
+    ov, histories = make_world(seed)
+    strategies = [UtilityModelI(), UtilityModelII(lookahead=lookahead)]
+    for start in list(ov.nodes)[:5]:
+        node = ov.nodes[start]
+        preds = [None] + node.neighbor_ids()[:2]
+        predecessor = data.draw(st.sampled_from(preds), label="predecessor")
+        for strategy in strategies:
+            scalar, batched = both_backend_choices(
+                ov,
+                histories,
+                strategy,
+                node,
+                predecessor,
+                seed=seed,
+                position_aware=True,
+            )
+            assert scalar == batched, (seed, start, predecessor, strategy)
+
+
 # ---- randomized differential: whole rounds through the builder ----------
 @settings(max_examples=15, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     strategy_name=st.sampled_from(["utility-I", "utility-II"]),
+    position_aware=st.booleans(),
 )
-def test_backends_build_identical_paths(seed, strategy_name):
+def test_backends_build_identical_paths(seed, strategy_name, position_aware):
     """End to end: same seed, same world, both backends — every formed
     path (hop for hop) and every history commit must coincide."""
     paths = {}
@@ -137,6 +188,8 @@ def test_backends_build_identical_paths(seed, strategy_name):
             good_strategy=strategy,
             termination=TerminationPolicy.crowds(0.6),
             backend=backend,
+            position_aware=position_aware,
+            kernel_crossover=False,
         )
         built = []
         for rnd in range(1, 6):
@@ -153,6 +206,53 @@ def test_backends_build_identical_paths(seed, strategy_name):
                 built.append(repr(exc))
         paths[backend] = built
     assert paths["python"] == paths["numpy"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cross_connection_batching_matches_scalar(seed):
+    """Several interleaved connections share one builder: the planner
+    stacks every announced frontier into one batched scoring pass, and
+    the interleaved decisions must still match the scalar reference for
+    every cid and round."""
+    cids = (1, 2, 3)
+    paths = {}
+    planner = None
+    for backend in BACKENDS:
+        ov, histories = make_world(seed, n=16, degree=4)
+        builder = PathBuilder(
+            overlay=ov,
+            cost_model=CostModel(
+                bandwidth=BandwidthModel(rng=np.random.default_rng(seed))
+            ),
+            histories=histories,
+            rng=np.random.default_rng(seed + 1),
+            good_strategy=UtilityModelII(lookahead=2),
+            termination=TerminationPolicy.hop_ttl(2),
+            backend=backend,
+            kernel_crossover=False,
+        )
+        built = []
+        for rnd in range(1, 5):
+            for cid in cids:
+                try:
+                    path = builder.build_round(
+                        cid=cid,
+                        round_index=rnd,
+                        initiator=cid % len(ov.nodes),
+                        responder=len(ov.nodes) - 1,
+                        contract=Contract.from_tau(60.0, 2.0),
+                    )
+                    built.append((cid, rnd, path.forwarders))
+                except Exception as exc:
+                    built.append((cid, rnd, repr(exc)))
+        paths[backend] = built
+        if backend == "numpy":
+            planner = builder._planner
+    assert paths["python"] == paths["numpy"]
+    # The planner really co-batched announced frontiers (not one-by-one).
+    assert planner is not None
+    assert planner.max_batched_frontiers >= 2
 
 
 # ---- invalidation ---------------------------------------------------------
@@ -215,14 +315,55 @@ def test_backends_agree_across_mid_round_crash(strategy):
 
 
 # ---- dispatch & plumbing --------------------------------------------------
-def test_position_aware_contexts_stay_on_scalar_path():
+def test_position_aware_contexts_use_kernels():
+    """Position-aware selectivity is kernel-native now — it no longer
+    forces the scalar fallback (the last one the numpy lane had)."""
     ov, histories = make_world(3)
-    ctx = make_context(ov, histories, "numpy")
-    ctx.position_aware_selectivity = True
-    assert not ctx.use_kernels()
-    ctx.position_aware_selectivity = False
+    ctx = make_context(ov, histories, "numpy", position_aware=True)
     assert ctx.use_kernels()
     assert not make_context(ov, histories, "python").use_kernels()
+
+    node = ov.nodes[0]
+    strategy = UtilityModelII(lookahead=2)
+    before = PERF.snapshot()
+    strategy.select_next_hop(node, node.neighbor_ids()[0], ctx)
+    delta = PERF.delta_since(before)
+    assert delta["kernel_calls"] > 0
+
+
+def test_small_world_crossover_keeps_tiny_decisions_scalar():
+    """Below the crossover thresholds the numpy backend dispatches to the
+    scalar path (per-decision array overhead dominates on tiny candidate
+    sets) — decisions are bit-identical either way, so only the counters
+    tell the lanes apart."""
+    ov, histories = make_world(4)  # n=14 < 20, degree 4 < 12
+    node = ov.nodes[0]
+    ctx = make_context(ov, histories, "numpy", kernel_crossover=True)
+    assert ctx.use_kernels()
+    assert not ctx.use_kernels_model1(node)
+    assert not ctx.use_kernels_model2()
+
+    for strategy in (UtilityModelI(), UtilityModelII(lookahead=2)):
+        before = PERF.snapshot()
+        hop = strategy.select_next_hop(node, None, ctx)
+        delta = PERF.delta_since(before)
+        assert delta["kernel_calls"] == 0
+        scalar_ctx = make_context(ov, histories, "python")
+        assert hop == strategy.select_next_hop(node, None, scalar_ctx)
+
+
+def test_small_world_crossover_engages_kernels_on_large_worlds():
+    ov, histories = make_world(8, n=24, degree=5)
+    node = ov.nodes[0]
+    ctx = make_context(ov, histories, "numpy", kernel_crossover=True)
+    # n=24 >= MODEL2_KERNEL_MIN_NODES: the lookahead sweep is batched...
+    assert ctx.use_kernels_model2()
+    before = PERF.snapshot()
+    UtilityModelII(lookahead=2).select_next_hop(node, None, ctx)
+    assert PERF.delta_since(before)["kernel_calls"] > 0
+    # ...but degree 5 < MODEL1_KERNEL_MIN_CANDIDATES keeps the one-shot
+    # Model-I decision on the scalar path.
+    assert not ctx.use_kernels_model1(node)
 
 
 def test_validate_backend_rejects_unknown():
@@ -235,9 +376,9 @@ def test_validate_backend_rejects_unknown():
 
 def test_default_backend_reads_environment(monkeypatch):
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
-    assert default_backend() == "python"
-    monkeypatch.setenv("REPRO_BACKEND", "numpy")
     assert default_backend() == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+    assert default_backend() == "python"
     monkeypatch.setenv("REPRO_BACKEND", "fortran")
     with pytest.raises(ValueError, match="unknown backend"):
         default_backend()
@@ -252,11 +393,11 @@ def test_builder_resolves_backend_from_environment(monkeypatch):
         rng=np.random.default_rng(0),
         good_strategy=UtilityModelI(),
     )
-    monkeypatch.setenv("REPRO_BACKEND", "numpy")
-    assert PathBuilder(**kwargs).backend == "numpy"
-    monkeypatch.delenv("REPRO_BACKEND")
+    monkeypatch.setenv("REPRO_BACKEND", "python")
     assert PathBuilder(**kwargs).backend == "python"
-    assert PathBuilder(backend="numpy", **kwargs).backend == "numpy"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert PathBuilder(**kwargs).backend == "numpy"
+    assert PathBuilder(backend="python", **kwargs).backend == "python"
     with pytest.raises(ValueError, match="unknown backend"):
         PathBuilder(backend="gpu", **kwargs)
 
@@ -271,6 +412,7 @@ def test_builder_shares_one_world_across_rounds():
         good_strategy=UtilityModelII(lookahead=2),
         termination=TerminationPolicy.hop_ttl(2),
         backend="numpy",
+        kernel_crossover=False,
     )
     for rnd in range(1, 4):
         builder.build_round(

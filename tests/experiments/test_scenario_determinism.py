@@ -137,6 +137,51 @@ def test_backends_agree_under_chaos(strategy):
     assert a.degradation["forwarder_crashes"] > 0
 
 
+@pytest.mark.parametrize("strategy", sorted(GOLDEN))
+def test_backends_agree_under_chaos_position_aware(strategy):
+    """Chaos *and* §2.3 predecessor differentiation together: mid-round
+    crashes invalidate liveness while the kernels score per-(state,
+    predecessor) qualities.  The combination exercises every batched
+    code path at once (position-aware base qualities, frontier resets,
+    per-attempt snapshots) and must stay bit-identical to scalar."""
+    faults = FaultConfig.from_severity(0.25)
+    a = run_scenario(
+        _config(strategy, "python").with_overrides(
+            faults=faults, position_aware=True
+        )
+    )
+    b = run_scenario(
+        _config(strategy, "numpy").with_overrides(
+            faults=faults, position_aware=True
+        )
+    )
+    assert a.degradation == b.degradation
+    assert a.payoffs == b.payoffs
+    assert a.forwarder_set_sizes() == b.forwarder_set_sizes()
+    assert a.series_settlements == b.series_settlements
+    assert a.round_times == b.round_times
+    assert a.degradation["forwarder_crashes"] > 0
+    # The numpy lane really ran through the kernels (n_nodes=24 clears
+    # the Model-II crossover; Model-I decisions stay scalar by design).
+    if strategy == "utility-II":
+        assert b.perf_counters["kernel_calls"] > 0
+
+
+def test_numpy_default_resolves_and_batches(monkeypatch):
+    """With REPRO_BACKEND unset and no explicit config, the scenario now
+    runs on the numpy kernels — and still reproduces the golden
+    trajectory (bit-identity is what makes the flip safe)."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    result = run_scenario(_config("utility-II", backend=None))
+    golden = GOLDEN["utility-II"]
+    assert result.forwarder_set_sizes() == golden["forwarder_set_sizes"]
+    assert result.average_good_payoff() == pytest.approx(
+        golden["average_good_payoff"], rel=0, abs=1e-9
+    )
+    assert result.perf_counters["kernel_calls"] > 0
+    assert result.perf_counters["kernel_batch_elements"] > 0
+
+
 def test_nonzero_plan_drives_degradation_counters():
     """Acceptance: a nonzero plan demonstrably causes reformations,
     retries and deferred settlements, all surfaced in ScenarioResult."""
