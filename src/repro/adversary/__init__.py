@@ -6,7 +6,12 @@
 - :mod:`~repro.adversary.intersection` — the intersection attack of §2.1:
   intersect the sets of online nodes observed across the rounds of a
   recurring connection; the initiator is exposed when the candidate set
-  collapses.
+  collapses.  :class:`~repro.adversary.intersection.CoalitionObserver`
+  extends it to coalitions of compromised forwarders pooling per-round
+  observations.
+- :mod:`~repro.adversary.sybil` — Sybil colonies and whitewashing
+  identity churn attacking the token economy
+  (:class:`~repro.adversary.sybil.SybilColony` lifecycle).
 - :mod:`~repro.adversary.traffic_analysis` — the predecessor attack:
   colluding malicious forwarders log their immediate predecessor per
   series; the most frequent predecessor is the initiator guess.
@@ -14,9 +19,20 @@
   captured history profiles.
 """
 
-from repro.adversary.intersection import IntersectionAttack, IntersectionResult
+from repro.adversary.intersection import (
+    CoalitionObserver,
+    IntersectionAttack,
+    IntersectionResult,
+    coalition_of,
+    pooled_intersection_attack,
+)
 from repro.adversary.models import AvailabilityAttacker, make_availability_attackers
-from repro.adversary.sybil import SybilResult, run_sybil_experiment
+from repro.adversary.sybil import (
+    SYBIL_STRATEGIES,
+    SybilColony,
+    SybilResult,
+    run_sybil_experiment,
+)
 from repro.adversary.traffic_analysis import (
     HistoryProfileAttack,
     PredecessorAttack,
@@ -25,12 +41,17 @@ from repro.adversary.traffic_analysis import (
 
 __all__ = [
     "AvailabilityAttacker",
+    "CoalitionObserver",
     "HistoryProfileAttack",
     "IntersectionAttack",
     "IntersectionResult",
     "PredecessorAttack",
     "PredecessorObservation",
+    "SYBIL_STRATEGIES",
+    "SybilColony",
     "SybilResult",
+    "coalition_of",
     "make_availability_attackers",
+    "pooled_intersection_attack",
     "run_sybil_experiment",
 ]

@@ -15,8 +15,9 @@ number of path reformations and the information each reformation leaks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.path import Path
 from repro.network.trace import NetworkTrace
 from repro.core.utility import entropy_anonymity_degree
 
@@ -99,3 +100,115 @@ class IntersectionAttack:
             candidate_sizes=list(self._sizes),
             final_candidates=frozenset(self._candidates),
         )
+
+
+@dataclass
+class CoalitionObserver:
+    """A coalition of compromised forwarders pooling intersection data.
+
+    The single-observer attack above assumes someone watches the
+    responder for the *whole* series.  The coalition model is weaker per
+    member but stronger in aggregate: a malicious forwarder only learns
+    that series ``cid`` was active when it sits on (or terminates) that
+    round's path, so each member observes a subset of the rounds.  The
+    coalition pools those per-round observations — the union of observed
+    round times per series — and runs the §2.1 intersection over the
+    pooled set.
+
+    Monotonicity is structural: a larger coalition observes a superset
+    of round times, and intersecting over more online-set snapshots can
+    only shrink (never grow) the candidate set.  The property suite pins
+    this (`tests/properties/test_attack_invariants.py`).
+    """
+
+    trace: NetworkTrace
+    members: FrozenSet[int] = frozenset()
+    #: Pooled observation times per series (cid -> sorted unique times).
+    _times: Dict[int, List[float]] = field(default_factory=dict, repr=False)
+
+    def observe_path(
+        self, path: Path, time: float, series_cid: Optional[int] = None
+    ) -> bool:
+        """Ingest one committed round.  The coalition learns the series
+        was active at ``time`` iff a member forwarded on (or received)
+        the round's path.  Returns True when the round was observed.
+
+        ``series_cid`` overrides the cid the observation is pooled under
+        (wire cids rotate under the cid-rotation defence; the attack
+        still targets the underlying series)."""
+        if not self.members:
+            return False
+        visible = set(path.forwarders)
+        visible.add(path.responder)
+        if not (visible & self.members):
+            return False
+        self.record_observation(
+            path.cid if series_cid is None else series_cid, time
+        )
+        return True
+
+    def record_observation(self, cid: int, time: float) -> None:
+        """Pool one raw activity observation for series ``cid``."""
+        times = self._times.setdefault(cid, [])
+        if time not in times:
+            times.append(time)
+            times.sort()
+
+    def merge(self, other: "CoalitionObserver") -> None:
+        """Pool another coalition's observations into this one (the
+        round-merging step: candidate sets are intersected lazily when
+        :meth:`attack` replays the pooled times)."""
+        self.members = self.members | other.members
+        for cid, times in other._times.items():
+            mine = self._times.setdefault(cid, [])
+            merged = sorted(set(mine) | set(times))
+            self._times[cid] = merged
+
+    def observed_series(self) -> List[int]:
+        """Series ids with at least one pooled observation, sorted."""
+        return sorted(cid for cid, ts in self._times.items() if ts)
+
+    def observed_times(self, cid: int) -> List[float]:
+        """Pooled observation times for one series (empty if unobserved)."""
+        return list(self._times.get(cid, ()))
+
+    def attack(
+        self,
+        cid: int,
+        initiator: int,
+        excluded: FrozenSet[int] = frozenset(),
+    ) -> Optional[IntersectionResult]:
+        """Run the pooled intersection against one series.
+
+        Returns None when the coalition never observed the series (an
+        *empty round set* gives the attacker nothing — the candidate set
+        is the whole population and no IntersectionResult exists).
+        """
+        times = self._times.get(cid)
+        if not times:
+            return None
+        attack = IntersectionAttack(
+            trace=self.trace, initiator=initiator, excluded=excluded
+        )
+        return attack.observe_rounds(times)
+
+
+def coalition_of(member_ids: Iterable[int], trace: NetworkTrace) -> CoalitionObserver:
+    """Convenience constructor from any iterable of member ids."""
+    return CoalitionObserver(trace=trace, members=frozenset(member_ids))
+
+
+def pooled_intersection_attack(
+    trace: NetworkTrace,
+    members: Iterable[int],
+    rounds: Iterable[Tuple[Path, float]],
+    initiator: int,
+    cid: int,
+    excluded: FrozenSet[int] = frozenset(),
+) -> Optional[IntersectionResult]:
+    """One-shot helper: build a coalition, feed it ``(path, time)`` rounds
+    and run the pooled attack against series ``cid``."""
+    observer = coalition_of(members, trace)
+    for path, time in rounds:
+        observer.observe_path(path, time)
+    return observer.attack(cid, initiator, excluded=excluded)

@@ -7,6 +7,10 @@ Subcommands:
 - ``figure {3,4,5,6,7}`` — regenerate a paper figure;
 - ``table 2`` — regenerate Table 2 (with the paper's printed values);
 - ``prop 1`` — the Proposition 1 reformation experiment;
+- ``attack`` — the adversarial & economic scenario suite (coalition
+  intersection, Sybil/whitewash, Stackelberg/market pricing,
+  heterogeneous capacities) with invariant verdicts and the
+  anonymity-degradation report (``--report``);
 - ``obs summarize <trace.jsonl>`` — render a run report from an exported
   trace (top spans, per-subsystem event tables, round timelines);
 - ``lint`` — the determinism & layering static analyser
@@ -117,6 +121,30 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--output", "-o", default=None,
                          help="write the markdown report to this path")
     _scale_args(suite_p)
+
+    attack_p = sub.add_parser(
+        "attack", help="adversarial & economic scenario suite"
+    )
+    attack_p.add_argument(
+        "--family",
+        choices=("all", "coalition", "sybil", "pricing", "capacity"),
+        default="all",
+        help="which scenario family to run (default: all, with invariants)",
+    )
+    attack_p.add_argument("--seed", type=int, default=0)
+    attack_p.add_argument(
+        "--preset", choices=("quick", "paper"), default="quick"
+    )
+    attack_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also run the malicious-fraction sweep and write the "
+             "anonymity-degradation-vs-||pi|| report (markdown) here",
+    )
+    attack_p.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write the suite summary (markdown) to this path "
+             "instead of stdout",
+    )
 
     obs_p = sub.add_parser("obs", help="observability tooling")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
@@ -280,6 +308,40 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0 if result.all_passed else 1
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.adversarial import (
+        FAMILIES,
+        degradation_report,
+        run_attack_suite,
+    )
+
+    families = FAMILIES if args.family == "all" else (args.family,)
+    suite = run_attack_suite(
+        seed=args.seed, preset=args.preset, families=families, progress=print
+    )
+    summary = suite.to_markdown()
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(summary)
+        print(f"suite summary written to {path}")
+    else:
+        print(summary)
+    if args.report:
+        report = degradation_report(
+            seed=args.seed, preset=args.preset, progress=print
+        )
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_markdown())
+        print(f"degradation report written to {path}")
+        if not report.claim_holds:
+            return 1
+    return 0 if suite.all_passed else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.summarize import summarize_file
 
@@ -306,6 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table": _cmd_table,
         "prop": _cmd_prop,
         "suite": _cmd_suite,
+        "attack": _cmd_attack,
         "obs": _cmd_obs,
         "lint": _cmd_lint,
     }

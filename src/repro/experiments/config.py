@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.adversary.sybil import SYBIL_STRATEGIES
 from repro.core.contracts import PF_RANGE
 from repro.core.edge_quality import QualityWeights
+from repro.network.capacity import CAPACITY_DISTRIBUTIONS, DEFAULT_CLASSES
 from repro.obs import ObsConfig
 from repro.sim.faults import FaultPlan, RetryPolicy
 
@@ -135,6 +137,110 @@ class ChurnConfig:
 
 
 @dataclass(frozen=True)
+class PricingConfig:
+    """Dynamic-pricing knobs (see :mod:`repro.gametheory.stackelberg`).
+
+    ``mode="stackelberg"``: before the workload starts, each initiator
+    solves the leader–follower pricing game against the population's
+    reserve prices (Proposition 3 thresholds under the drawn capacities)
+    and posts the equilibrium ``P_f`` for its whole series — replacing
+    the paper's exogenous ``U[50, 100]`` draw.  ``mode="market"``: every
+    series prices each round from a shared tatonnement that reacts to
+    observed round failures.  Both modes are deterministic (the
+    Stackelberg solve is closed-form on the reserve grid; the market
+    process draws no RNG).
+    """
+
+    mode: str = "stackelberg"  # 'stackelberg' | 'market'
+    # --- stackelberg (leader side)
+    #: Leader's value of anonymity ``V`` in ``V * log2(1 + n)``.
+    value_of_anonymity: float = 400.0
+    # --- market (tatonnement)
+    initial_price: float = 75.0
+    adjust_rate: float = 0.25
+    window: int = 8
+    #: Price band enforced in both modes.
+    price_floor: float = 1.0
+    price_ceiling: float = 500.0
+
+    def __post_init__(self):
+        if self.mode not in ("stackelberg", "market"):
+            raise ValueError(f"unknown pricing mode {self.mode!r}")
+        if self.value_of_anonymity < 0 or self.adjust_rate < 0:
+            raise ValueError("value_of_anonymity and adjust_rate must be >= 0")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not self.price_floor <= self.initial_price <= self.price_ceiling:
+            raise ValueError(
+                f"initial_price {self.initial_price} outside "
+                f"[{self.price_floor}, {self.price_ceiling}]"
+            )
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Heterogeneous node capacities (see :mod:`repro.network.capacity`)."""
+
+    distribution: str = "uniform"  # 'uniform' | 'pareto' | 'classes'
+    spread: float = 0.6
+    pareto_alpha: float = 1.5
+    classes: Tuple[Tuple[float, float], ...] = DEFAULT_CLASSES
+    #: Session durations scale as ``cap ** availability_coupling``.
+    availability_coupling: float = 1.0
+    #: Participation cost scales as ``cap ** -cost_coupling``.
+    cost_coupling: float = 1.0
+    #: Scale link bandwidth by ``min(cap_a, cap_b)``.
+    bandwidth_coupling: bool = True
+
+    def __post_init__(self):
+        if self.distribution not in CAPACITY_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown capacity distribution {self.distribution!r}; "
+                f"expected one of {CAPACITY_DISTRIBUTIONS}"
+            )
+        if not 0 <= self.spread < 1:
+            raise ValueError(f"spread must be in [0, 1), got {self.spread}")
+        if self.pareto_alpha <= 0:
+            raise ValueError(f"pareto_alpha must be > 0, got {self.pareto_alpha}")
+        if self.availability_coupling < 0 or self.cost_coupling < 0:
+            raise ValueError("capacity couplings must be >= 0")
+
+
+@dataclass(frozen=True)
+class SybilConfig:
+    """Sybil colony attacking the token economy (repro.adversary.sybil).
+
+    The colony joins the overlay right after bootstrap, is excluded from
+    the (I, R) endpoint pool, and its identities never churn (active
+    Sybils stay online; under ``strategy_mode="whitewash"`` the oldest
+    identity is rotated for a fresh one every ``whitewash_every``
+    simulated minutes, collecting ``join_subsidy`` each rotation).
+    """
+
+    n_sybil: int = 8
+    strategy_mode: str = "persist"  # 'persist' | 'whitewash'
+    #: Minutes between whitewash rotations (whitewash mode only).
+    whitewash_every: float = 30.0
+    #: Newcomer token grant minted to every joining identity.
+    join_subsidy: float = 0.0
+
+    def __post_init__(self):
+        if self.n_sybil < 1:
+            raise ValueError(f"n_sybil must be >= 1, got {self.n_sybil}")
+        if self.strategy_mode not in SYBIL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy_mode {self.strategy_mode!r}; "
+                f"expected one of {SYBIL_STRATEGIES}"
+            )
+        if self.whitewash_every <= 0:
+            raise ValueError(
+                f"whitewash_every must be > 0, got {self.whitewash_every}"
+            )
+        if self.join_subsidy < 0:
+            raise ValueError(f"negative join_subsidy {self.join_subsidy}")
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Full description of one simulation run."""
 
@@ -243,6 +349,16 @@ class ExperimentConfig:
     #: back to the ``"numpy"`` default when the variable is unset; pin
     #: ``REPRO_BACKEND=python`` to keep the scalar reference).
     backend: Optional[str] = None
+    # --- adversarial & economic scenario suite
+    #: Dynamic ``P_f`` (Stackelberg or market pricing).  None (default)
+    #: keeps the paper's exogenous ``U[pf_range]`` draw — bit-identical
+    #: to pre-suite runs.
+    pricing: Optional[PricingConfig] = None
+    #: Heterogeneous node capacities feeding availability, participation
+    #: cost, and link bandwidth.  None = homogeneous (paper model).
+    capacity: Optional[CapacityConfig] = None
+    #: Sybil colony attacking the token economy.  None = no colony.
+    sybil: Optional[SybilConfig] = None
 
     def __post_init__(self):
         if self.backend is not None:

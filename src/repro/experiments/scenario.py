@@ -104,6 +104,21 @@ class ScenarioResult:
     #: bank gauges, phase timings — exportable via ``to_prometheus()`` /
     #: ``to_json()``.  Always populated (collected after the run).
     metrics: Optional[MetricsRegistry] = field(default=None, repr=False)
+    #: Per-node relative capacity (populated when ``config.capacity``).
+    capacities: Optional[Dict[int, float]] = None
+    #: (sim time, ``P_f``) price path under dynamic pricing: the market
+    #: tatonnement's adjustment history, or the single Stackelberg
+    #: equilibrium point.  Empty without ``config.pricing``.
+    pricing_trace: List[Tuple[float, float]] = field(default_factory=list)
+    #: Solved :class:`repro.gametheory.stackelberg.StackelbergEquilibrium`
+    #: (stackelberg pricing mode only).
+    stackelberg: Optional[object] = None
+    #: Every identity the Sybil colony controlled (populated when
+    #: ``config.sybil``; these ids are excluded from ``good_node_ids``).
+    sybil_ids: Set[int] = field(default_factory=set)
+    #: Colony accounting: identities_used, whitewashes,
+    #: subsidy_collected, colony_income, value_per_identity.
+    sybil_stats: Dict[str, float] = field(default_factory=dict)
 
     def mean_payload_latency(self) -> float:
         if not self.round_latencies:
@@ -190,6 +205,82 @@ class ScenarioResult:
             "mean_anonymity_degree": float(np.mean(degrees)),
             "exposure_rate": exposed / evaluated,
             "pairs_evaluated": float(evaluated),
+        }
+
+    def coalition_results(
+        self,
+        members: Optional[Set[int]] = None,
+        max_pairs: Optional[int] = None,
+    ) -> Dict[int, Optional[object]]:
+        """Per-series pooled coalition intersection attack (§2.1 extended).
+
+        Unlike :meth:`intersection_anonymity` (an omniscient observer who
+        sees every round), the coalition only learns a series was active
+        when one of its members forwarded on (or terminated) that round's
+        path — so each series is attacked over the *pooled subset* of
+        rounds the coalition actually touched.  ``members`` defaults to
+        all malicious nodes.  Returns ``cid ->``
+        :class:`~repro.adversary.intersection.IntersectionResult` (None
+        for series the coalition never observed).
+        """
+        from repro.adversary.intersection import CoalitionObserver
+
+        coalition = frozenset(
+            members if members is not None else self.malicious_node_ids
+        )
+        observer = CoalitionObserver(trace=self.overlay.trace, members=coalition)
+        logs = self.series_logs[: max_pairs or len(self.series_logs)]
+        for log in logs:
+            times = self.round_times.get(log.cid, [])
+            for path in log.paths:
+                # Wire cids differ from series cids under rotation; pool
+                # the observation under the series cid the attack targets.
+                if 1 <= path.round_index <= len(times):
+                    observer.observe_path(
+                        path, times[path.round_index - 1], series_cid=log.cid
+                    )
+        return {
+            log.cid: observer.attack(
+                log.cid,
+                log.initiator,
+                excluded=frozenset({log.responder}) | coalition,
+            )
+            for log in logs
+        }
+
+    def coalition_intersection(
+        self,
+        members: Optional[Set[int]] = None,
+        max_pairs: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """Aggregate degradation statistics for the pooled coalition
+        attack (see :meth:`coalition_results`); series the coalition
+        never observed count as fully anonymous."""
+        coalition = frozenset(
+            members if members is not None else self.malicious_node_ids
+        )
+        results = self.coalition_results(members=coalition, max_pairs=max_pairs)
+        logs = self.series_logs[: max_pairs or len(self.series_logs)]
+        degrees: List[float] = []
+        observed_rounds: List[int] = []
+        exposed = 0
+        evaluated = 0
+        for res in results.values():
+            if res is None:
+                continue
+            evaluated += 1
+            degrees.append(res.anonymity_degree)
+            observed_rounds.append(res.observations)
+            exposed += int(res.exposed)
+        return {
+            "coalition_size": float(len(coalition)),
+            "pairs_evaluated": float(evaluated),
+            "pairs_observed_fraction": evaluated / len(logs) if logs else 0.0,
+            "mean_observed_rounds": (
+                float(np.mean(observed_rounds)) if observed_rounds else 0.0
+            ),
+            "mean_anonymity_degree": float(np.mean(degrees)) if degrees else 1.0,
+            "exposure_rate": exposed / evaluated if evaluated else 0.0,
         }
 
     def payoff_gini(self) -> float:
@@ -319,14 +410,71 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             ),
         )
 
+    # ---- heterogeneous capacities (repro.network.capacity) ------------
+    # None wires nothing (no stream, no cost/bandwidth changes) — the
+    # homogeneous run stays bit-identical.
+    capacity_profile = None
+    if config.capacity is not None:
+        from repro.network.capacity import (
+            CapacityProfile,
+            apply_participation_costs,
+            draw_capacities,
+        )
+
+        capacity_profile = CapacityProfile(
+            capacities=draw_capacities(
+                overlay.nodes.keys(),
+                streams["capacity"],
+                distribution=config.capacity.distribution,
+                spread=config.capacity.spread,
+                pareto_alpha=config.capacity.pareto_alpha,
+                classes=config.capacity.classes,
+            ),
+            availability_coupling=config.capacity.availability_coupling,
+            cost_coupling=config.capacity.cost_coupling,
+        )
+        if config.capacity.cost_coupling > 0:
+            apply_participation_costs(
+                overlay.nodes, capacity_profile, config.participation_cost
+            )
+
     bandwidth = BandwidthModel(
         rng=streams["bandwidth"],
         min_bandwidth=config.min_bandwidth,
         max_bandwidth=config.max_bandwidth,
         unit_cost=config.unit_cost,
+        node_capacity=(
+            capacity_profile.capacities
+            if capacity_profile is not None and config.capacity.bandwidth_coupling
+            else None
+        ),
     )
     cost_model = CostModel(bandwidth=bandwidth)
     histories = {nid: HistoryProfile(nid) for nid in overlay.nodes}
+
+    # ---- Sybil colony (repro.adversary.sybil) -------------------------
+    # The colony joins right after bootstrap; its identities are kept out
+    # of the endpoint pool and never churn (active Sybils stay online).
+    colony = None
+    if config.sybil is not None:
+        from repro.adversary.sybil import SybilColony
+
+        colony = SybilColony(
+            overlay=overlay,
+            histories=histories,
+            join_subsidy=config.sybil.join_subsidy,
+            participation_cost=config.participation_cost,
+        )
+        colony.spawn_cohort(config.sybil.n_sybil, env.now)
+        if config.sybil.strategy_mode == "whitewash":
+            whitewash_gap = config.sybil.whitewash_every
+
+            def _whitewash_process():
+                while True:
+                    yield env.timeout(whitewash_gap)
+                    colony.whitewash(env.now)
+
+            env.process(_whitewash_process())
 
     # ---- fault injection + recovery (repro.sim.faults) ----------------
     # A missing or all-zero plan wires nothing: no injector, no retry
@@ -367,7 +515,12 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
 
     # ---- workload: (I, R) pairs -------------------------------------
     pair_rng = streams["pairs"]
-    pairs = _select_pairs(overlay, config.n_pairs, pair_rng)
+    pairs = _select_pairs(
+        overlay,
+        config.n_pairs,
+        pair_rng,
+        exclude=colony.member_ids() if colony is not None else frozenset(),
+    )
     pinned: Set[int] = set()
     if config.pin_endpoints:
         for i, r in pairs:
@@ -411,8 +564,18 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             if config.churn.incentive_coupling > 0
             else None
         )
+        if capacity_profile is not None and config.capacity.availability_coupling > 0:
+            # Capable nodes sustain longer sessions; composes with the
+            # incentive feedback when both are active.
+            if scale is None:
+                scale = capacity_profile.session_scale
+            else:
+                from repro.network.capacity import combined_session_scale
+
+                scale = combined_session_scale(capacity_profile.session_scale, scale)
+        never_churn: Set[int] = set(colony.member_ids()) if colony is not None else set()
         for nid in overlay.online_ids():
-            if nid in pinned:
+            if nid in pinned or nid in never_churn:
                 continue
             env.process(
                 node_lifecycle(
@@ -528,15 +691,27 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             bank.availability = injector.bank_available
         for nid in overlay.nodes:
             bank.open_account(nid, endowment=0.0)
+        if colony is not None:
+            # Founding identities opened before the bank existed; credit
+            # their join subsidies now.  Later whitewash spawns mint
+            # through the colony itself.
+            colony.bank = bank
+            if config.sybil.join_subsidy > 0:
+                for nid in colony.all_ids:
+                    bank.ledger.mint(nid, config.sybil.join_subsidy)
         # Initiators carry the working capital: at least the worst-case
         # series outlay (every round at the maximum path length and P_f),
-        # so no workload configuration can bounce a settlement.
+        # so no workload configuration can bounce a settlement.  Dynamic
+        # pricing can clear above pf_range, so cap at the price ceiling.
+        pf_cap = config.pf_range[1]
+        if config.pricing is not None:
+            pf_cap = max(pf_cap, config.pricing.price_ceiling)
         worst_case_series = (
             config.rounds_per_pair
             * config.max_path_length
-            * config.pf_range[1]
+            * pf_cap
             * 1.1
-            + config.tau * config.pf_range[1]
+            + config.tau * pf_cap
         )
         per_pair = max(config.endowment / max(1, len(pairs)), worst_case_series)
         for i, _r in pairs:
@@ -591,7 +766,75 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         else:
             validation_counts["bad"] += 1
 
+    # ---- dynamic pricing (repro.gametheory.stackelberg) ----------------
+    # None keeps the paper's exogenous U[pf_range] contract draws.  Both
+    # modes are RNG-free: the Stackelberg solve is closed-form over the
+    # reserve-price grid, and the market tatonnement is pure state.
+    market = None
+    stackelberg_eq = None
+    pricing_pf: Optional[float] = None
+    if config.pricing is not None:
+        from repro.gametheory.stackelberg import (
+            FollowerProfile,
+            MarketPriceProcess,
+            StackelbergPricingGame,
+            uniform_bandwidth_transmission_cost,
+        )
+
+        if config.pricing.mode == "stackelberg":
+            # Followers are the good nodes; reserve price = Prop 3
+            # threshold with the (capacity-adjusted) participation cost
+            # and the analytic expected transmission cost.
+            expected_ct = (
+                uniform_bandwidth_transmission_cost(
+                    config.unit_cost,
+                    bandwidth.reference_bandwidth,
+                    config.min_bandwidth,
+                    config.max_bandwidth,
+                )
+                * config.payload_size
+            )
+            followers = tuple(
+                FollowerProfile(
+                    node_id=nid,
+                    participation_cost=overlay.nodes[nid].participation_cost,
+                    transmission_cost=expected_ct,
+                )
+                for nid in sorted(overlay.nodes)
+                if not overlay.nodes[nid].malicious
+            )
+            avg_len = (
+                1.0 / (1.0 - config.forward_probability)
+                if config.termination == "crowds"
+                else float(config.ttl)
+            )
+            stackelberg_eq = StackelbergPricingGame(
+                followers=followers,
+                value_of_anonymity=config.pricing.value_of_anonymity,
+                rounds=rounds,
+                avg_path_length=avg_len,
+                tau=config.tau,
+                price_floor=config.pricing.price_floor,
+                price_ceiling=config.pricing.price_ceiling,
+            ).solve()
+            pricing_pf = stackelberg_eq.pf
+        else:
+            market = MarketPriceProcess(
+                initial_price=config.pricing.initial_price,
+                adjust_rate=config.pricing.adjust_rate,
+                window=config.pricing.window,
+                floor=config.pricing.price_floor,
+                ceiling=config.pricing.price_ceiling,
+            )
+
     def pair_process(cid: int, initiator: int, responder: int, contract: Contract):
+        if contract is None:
+            # Market mode: price the series at the tatonnement's current
+            # quote when the series starts.
+            contract = Contract.from_tau(
+                market.price, config.tau, payload_size=config.payload_size
+            )
+            contracts_by_cid[cid] = contract
         rotator = None
         if config.cid_rotation_epoch > 0:
             from repro.core.defenses import CidRotator
@@ -631,6 +874,10 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
                         break
                 if path is None:
                     injector.stats.rounds_abandoned += 1
+            if market is not None:
+                # Tatonnement input: did this round find a willing path at
+                # the going price?  (Pure state update, draws no RNG.)
+                market.record(path is not None, env.now)
             if path is not None and config.validate_routes:
                 _validate_route(path)
             if path is not None and transport is not None:
@@ -727,13 +974,21 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
             )
 
     for cid, (i, r) in enumerate(pairs, start=1):
-        contract = draw_contract(
-            contract_rng,
-            tau=config.tau,
-            pf_range=config.pf_range,
-            payload_size=config.payload_size,
-        )
-        contracts_by_cid[cid] = contract
+        if config.pricing is None:
+            contract = draw_contract(
+                contract_rng,
+                tau=config.tau,
+                pf_range=config.pf_range,
+                payload_size=config.payload_size,
+            )
+        elif pricing_pf is not None:
+            contract = Contract.from_tau(
+                pricing_pf, config.tau, payload_size=config.payload_size
+            )
+        else:
+            contract = None  # market mode: priced lazily in pair_process
+        if contract is not None:
+            contracts_by_cid[cid] = contract
         env.process(pair_process(cid, i, r, contract))
 
     _setup_span.__exit__(None, None, None)
@@ -769,6 +1024,19 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
 
     series_logs = [s.log for s in all_series]
     stats = [ConnectionSeriesStats.from_log(log) for log in series_logs]
+    sybil_stats: Dict[str, float] = {}
+    if colony is not None:
+        colony_income = sum(earnings.get(n, 0.0) for n in sorted(colony.all_ids))
+        sybil_stats = {
+            "identities_used": float(colony.identities_used),
+            "whitewashes": float(colony.whitewashes),
+            "subsidy_collected": colony.subsidy_collected,
+            "colony_income": colony_income,
+            "value_per_identity": (
+                (colony_income + colony.subsidy_collected)
+                / colony.identities_used
+            ),
+        }
     _collect_span.__exit__(None, None, None)
     phase_timings["collect"] = time.perf_counter() - t_collect0
 
@@ -807,7 +1075,10 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         series_stats=stats,
         series_logs=series_logs,
         series_settlements=series_settlements,
-        good_node_ids={n.node_id for n in overlay.good_nodes()},
+        good_node_ids=(
+            {n.node_id for n in overlay.good_nodes()}
+            - (set(colony.all_ids) if colony is not None else set())
+        ),
         malicious_node_ids={n.node_id for n in overlay.malicious_nodes()},
         pinned_ids=pinned,
         total_reformations=builder.reformations,
@@ -823,6 +1094,19 @@ def run_scenario(config: ExperimentConfig) -> ScenarioResult:
         phase_timings=phase_timings,
         trace=trace,
         metrics=registry,
+        capacities=(
+            dict(capacity_profile.capacities)
+            if capacity_profile is not None
+            else None
+        ),
+        pricing_trace=(
+            list(market.history)
+            if market is not None
+            else ([(0.0, pricing_pf)] if pricing_pf is not None else [])
+        ),
+        stackelberg=stackelberg_eq,
+        sybil_ids=set(colony.all_ids) if colony is not None else set(),
+        sybil_stats=sybil_stats,
     )
 
 
@@ -887,14 +1171,18 @@ def _build_run_metrics(
 
 
 def _select_pairs(
-    overlay: Overlay, n_pairs: int, rng: np.random.Generator
+    overlay: Overlay,
+    n_pairs: int,
+    rng: np.random.Generator,
+    exclude: Set[int] = frozenset(),
 ) -> List[Tuple[int, int]]:
     """Random (initiator, responder) pairs with distinct endpoints.
 
     Pairs may reuse nodes across pairs (the paper draws 100 pairs from 40
-    nodes), but a pair's two endpoints always differ.
+    nodes), but a pair's two endpoints always differ.  ``exclude`` keeps
+    designated ids (e.g. Sybil identities) out of the endpoint pool.
     """
-    ids = overlay.online_ids()
+    ids = [n for n in overlay.online_ids() if n not in exclude]
     if len(ids) < 2:
         raise ValueError("need at least two online nodes to form pairs")
     pairs: List[Tuple[int, int]] = []

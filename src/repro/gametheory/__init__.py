@@ -14,6 +14,9 @@ check* those claims:
   those terms.
 - :mod:`~repro.gametheory.propositions` — Propositions 1-3 as executable
   predicates/experiments.
+- :mod:`~repro.gametheory.stackelberg` — dynamic pricing: the
+  initiator/forwarder Stackelberg pricing game and the market-priced
+  ``P_f`` tatonnement.
 """
 
 from repro.gametheory.extensive_form import GameTree, TreeNode, backward_induction
@@ -36,6 +39,14 @@ from repro.gametheory.repeated import (
     one_shot_deviation_profitable,
     play,
     tit_for_tat,
+)
+from repro.gametheory.stackelberg import (
+    FollowerProfile,
+    MarketPriceProcess,
+    StackelbergEquilibrium,
+    StackelbergPricingGame,
+    follower_best_response,
+    uniform_bandwidth_transmission_cost,
 )
 from repro.gametheory.propositions import (
     Proposition1Result,
@@ -64,6 +75,12 @@ __all__ = [
     "backward_induction",
     "build_forwarding_stage_game",
     "build_path_formation_game",
+    "FollowerProfile",
+    "MarketPriceProcess",
+    "StackelbergEquilibrium",
+    "StackelbergPricingGame",
+    "follower_best_response",
+    "uniform_bandwidth_transmission_cost",
     "Proposition1Result",
     "proposition1_experiment",
     "proposition2_condition",

@@ -18,7 +18,7 @@ reference link.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +43,13 @@ class BandwidthModel:
         Bandwidth at which a link has per-unit cost exactly ``unit_cost``.
     unit_cost:
         Per-unit transmission cost ``l`` on a reference link.
+    node_capacity:
+        Optional per-node relative capacity (mean ≈ 1; see
+        :mod:`repro.network.capacity`).  When set, a link's effective
+        bandwidth is the uniform draw scaled by the *slower* endpoint —
+        ``min(cap_a, cap_b)`` — so heterogeneous capacities feed directly
+        into transmission costs.  ``None`` (default) is bit-identical to
+        the homogeneous model.
     """
 
     rng: np.random.Generator
@@ -50,6 +57,7 @@ class BandwidthModel:
     max_bandwidth: float = 10.0
     reference_bandwidth: float = 10.0
     unit_cost: float = 1.0
+    node_capacity: Optional[Dict[int, float]] = None
     _links: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -68,6 +76,10 @@ class BandwidthModel:
         bw = self._links.get(key)
         if bw is None:
             bw = float(self.rng.uniform(self.min_bandwidth, self.max_bandwidth))
+            if self.node_capacity is not None:
+                bw *= min(
+                    self.node_capacity.get(a, 1.0), self.node_capacity.get(b, 1.0)
+                )
             self._links[key] = bw
         return bw
 

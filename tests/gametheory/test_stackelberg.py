@@ -1,0 +1,209 @@
+"""Tests for dynamic pricing: Stackelberg game and market tatonnement."""
+
+import math
+
+import pytest
+
+from repro.gametheory.stackelberg import (
+    RESERVE_EPSILON,
+    FollowerProfile,
+    MarketPriceProcess,
+    StackelbergPricingGame,
+    follower_best_response,
+    uniform_bandwidth_transmission_cost,
+)
+
+
+def followers(*reserves):
+    """Followers with zero transmission cost, so reserve == C_i^p."""
+    return tuple(
+        FollowerProfile(node_id=i, participation_cost=r, transmission_cost=0.0)
+        for i, r in enumerate(reserves)
+    )
+
+
+# ------------------------------------------------------------- followers
+def test_reserve_price_is_prop3_threshold():
+    f = FollowerProfile(node_id=1, participation_cost=3.0, transmission_cost=2.0)
+    assert f.reserve_price == 5.0
+    assert not f.accepts(5.0)  # strict inequality, per Proposition 3
+    assert f.accepts(5.0 + 1e-6)
+
+
+def test_best_response_sorted_ids():
+    pool = followers(1.0, 5.0, 3.0)
+    assert follower_best_response(4.0, pool) == [0, 2]
+    assert follower_best_response(0.5, pool) == []
+
+
+# ----------------------------------------------------------- leader solve
+def test_grid_is_reserves_plus_epsilon():
+    game = StackelbergPricingGame(
+        followers=followers(2.0, 4.0, 4.0), value_of_anonymity=10.0
+    )
+    grid = game.price_grid()
+    assert grid[0] == game.price_floor
+    assert grid[1:] == [2.0 + RESERVE_EPSILON, 4.0 + RESERVE_EPSILON]
+
+
+def test_grid_respects_band():
+    game = StackelbergPricingGame(
+        followers=followers(1.0, 5.0, 50.0),
+        value_of_anonymity=10.0,
+        price_floor=2.0,
+        price_ceiling=10.0,
+    )
+    assert game.price_grid() == [2.0, 5.0 + RESERVE_EPSILON]
+
+
+def test_solve_is_exact_not_discretised():
+    """The optimum must sit exactly on a reserve+epsilon grid point and
+    dominate every other grid candidate — an exact argmax of the step
+    function, not a sampled approximation."""
+    game = StackelbergPricingGame(
+        followers=followers(1.0, 3.0, 7.0), value_of_anonymity=20.0, tau=2.0
+    )
+    eq = game.solve()
+    assert eq.pf in game.price_grid()
+    assert eq.leader_utility == max(u for _, u in eq.candidates)
+    assert eq.leader_utility == pytest.approx(game.leader_utility(eq.pf))
+
+
+def test_participants_and_surplus_consistent():
+    game = StackelbergPricingGame(
+        followers=followers(1.0, 3.0, 7.0), value_of_anonymity=50.0
+    )
+    eq = game.solve()
+    assert list(eq.participants) == follower_best_response(eq.pf, game.followers)
+    expected = sum(
+        eq.pf - f.reserve_price for f in game.followers if f.accepts(eq.pf)
+    )
+    assert eq.follower_surplus == pytest.approx(expected)
+    assert eq.follower_surplus >= 0.0
+
+
+def test_zero_value_leader_posts_floor():
+    game = StackelbergPricingGame(followers=followers(1.0, 2.0), value_of_anonymity=0.0)
+    eq = game.solve()
+    assert eq.pf == game.price_floor
+    assert eq.n_participants == 0
+
+
+def test_equilibrium_price_monotone_in_value_of_anonymity():
+    """The greatest-maximizer tie-break yields clean comparative statics:
+    a leader who values anonymity more never posts a lower price."""
+    pool = followers(1.0, 2.5, 4.0, 8.0, 16.0)
+    prices = []
+    for v in (0.0, 5.0, 20.0, 80.0, 320.0):
+        eq = StackelbergPricingGame(followers=pool, value_of_anonymity=v).solve()
+        prices.append(eq.pf)
+    assert prices == sorted(prices)
+    # And at the top end every follower participates.
+    assert (
+        StackelbergPricingGame(followers=pool, value_of_anonymity=320.0)
+        .solve()
+        .n_participants
+        == 5
+    )
+
+
+def test_payment_weight_scales_price_down():
+    """More rounds paid per unit price -> the leader posts a weakly lower
+    price (payment weight multiplies the marginal cost of price)."""
+    pool = followers(1.0, 4.0, 9.0)
+    cheap = StackelbergPricingGame(
+        followers=pool, value_of_anonymity=30.0, rounds=1, avg_path_length=1.0
+    ).solve()
+    costly = StackelbergPricingGame(
+        followers=pool, value_of_anonymity=30.0, rounds=20, avg_path_length=3.0
+    ).solve()
+    assert costly.pf <= cheap.pf
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StackelbergPricingGame(followers=(), value_of_anonymity=1.0, rounds=0)
+    with pytest.raises(ValueError):
+        StackelbergPricingGame(followers=(), value_of_anonymity=-1.0)
+    with pytest.raises(ValueError):
+        StackelbergPricingGame(
+            followers=(), value_of_anonymity=1.0, price_floor=5.0, price_ceiling=1.0
+        )
+
+
+# ---------------------------------------------------- transmission costs
+def test_uniform_bandwidth_cost_matches_quadrature():
+    unit, ref, lo, hi = 2.0, 10.0, 100.0, 1000.0
+    analytic = uniform_bandwidth_transmission_cost(unit, ref, lo, hi)
+    n = 200_000
+    riemann = sum(
+        unit * ref / (lo + (hi - lo) * (k + 0.5) / n) for k in range(n)
+    ) / n
+    assert analytic == pytest.approx(riemann, rel=1e-6)
+    assert analytic == pytest.approx(unit * ref * math.log(hi / lo) / (hi - lo))
+
+
+def test_uniform_bandwidth_cost_validation():
+    with pytest.raises(ValueError):
+        uniform_bandwidth_transmission_cost(1.0, 1.0, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        uniform_bandwidth_transmission_cost(1.0, 1.0, 10.0, 10.0)
+
+
+# ----------------------------------------------------------------- market
+def test_market_starts_at_initial_price_with_history():
+    m = MarketPriceProcess(initial_price=80.0)
+    assert m.price == 80.0
+    assert m.history == [(0.0, 80.0)]
+    assert m.adjustments == 0
+
+
+def test_market_adjusts_only_on_full_window():
+    m = MarketPriceProcess(initial_price=100.0, window=4, adjust_rate=0.5)
+    for _ in range(3):
+        assert m.record(False) == 100.0
+    # Fourth outcome completes the window: all failures -> +50%.
+    assert m.record(False, now=7.0) == pytest.approx(150.0)
+    assert m.adjustments == 1
+    assert m.history[-1] == (7.0, pytest.approx(150.0))
+
+
+def test_market_successes_push_price_down():
+    m = MarketPriceProcess(initial_price=100.0, window=2, adjust_rate=0.5)
+    m.record(True)
+    assert m.record(True) == pytest.approx(50.0)
+
+
+def test_market_balanced_window_holds_price():
+    m = MarketPriceProcess(initial_price=100.0, window=2)
+    m.record(True)
+    assert m.record(False) == pytest.approx(100.0)
+
+
+def test_market_clamps_to_band():
+    m = MarketPriceProcess(initial_price=2.0, window=1, adjust_rate=10.0, floor=1.0)
+    assert m.record(True) == 1.0  # -1000% clamps at the floor
+    up = MarketPriceProcess(
+        initial_price=400.0, window=1, adjust_rate=10.0, ceiling=500.0
+    )
+    assert up.record(False) == 500.0
+
+
+def test_market_is_pure_state_deterministic():
+    outcomes = [True, False, False, True, False] * 4
+    runs = []
+    for _ in range(2):
+        m = MarketPriceProcess(window=3)
+        for i, ok in enumerate(outcomes):
+            m.record(ok, now=float(i))
+        runs.append((m.price, tuple(m.history)))
+    assert runs[0] == runs[1]
+
+
+def test_market_validation():
+    with pytest.raises(ValueError):
+        MarketPriceProcess(window=0)
+    with pytest.raises(ValueError):
+        MarketPriceProcess(initial_price=0.5, floor=1.0)
+    with pytest.raises(ValueError):
+        MarketPriceProcess(adjust_rate=-0.1)
