@@ -40,6 +40,7 @@ _SUBPACKAGES = (
     "payment",
     "sim",
     "obs",
+    "fleet",
 )
 
 __all__ = ["__version__", *_SUBPACKAGES]

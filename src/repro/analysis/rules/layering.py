@@ -7,10 +7,12 @@ The dependency layering this repo maintains::
     repro.obs              <- observational side-layer (wired lazily from
                               core; eager from network/payment/sim where
                               the bus is a constructor dependency)
-    repro.experiments      <- harness: may import everything
+    repro.experiments      <- harness: may import everything below
+    repro.fleet            <- orchestrator: may import the harness and obs;
+                              nothing below may import it back
     repro.analysis         <- dev tooling: stdlib only, imports nothing above
 
-Two properties are enforced mechanically:
+Three properties are enforced mechanically:
 
 - ``repro.core`` / ``repro.gametheory`` never import ``repro.experiments``
   or ``repro.obs`` at module scope (lazy function-level or
@@ -21,7 +23,11 @@ Two properties are enforced mechanically:
   root, and a stray dependency there can consume entropy or observe
   import order before any seed is set;
 - nothing below the harness imports ``repro.experiments`` at module
-  scope.
+  scope, and nothing outside ``repro.fleet`` itself imports
+  ``repro.fleet`` at module scope — the sweep orchestrator sits at the
+  very top of the stack (it may depend on the harness and obs, never
+  the reverse; the ``repro fleet`` CLI wiring defers its import into
+  the handler).
 """
 
 from __future__ import annotations
@@ -52,6 +58,20 @@ _NO_EXPERIMENTS_PREFIXES = (
 
 #: Layers that must not import the obs side-layer at module scope.
 _NO_OBS_PREFIXES = ("repro.core", "repro.gametheory", "repro.analysis")
+
+#: Everything below the sweep orchestrator: may never import repro.fleet
+#: at module scope (the experiments CLI defers it into the handler).
+_NO_FLEET_PREFIXES = (
+    "repro.core",
+    "repro.gametheory",
+    "repro.network",
+    "repro.payment",
+    "repro.sim",
+    "repro.obs",
+    "repro.adversary",
+    "repro.analysis",
+    "repro.experiments",
+)
 
 
 def _under(module: str, prefixes: Tuple[str, ...]) -> bool:
@@ -102,6 +122,16 @@ class ImportLayeringRule(Rule):
                     f"{module} imports {imported} at module scope; only "
                     "the harness layer may depend on repro.experiments — "
                     "defer into the using function",
+                )
+        if imported == "repro.fleet" or imported.startswith("repro.fleet."):
+            if _under(module, _NO_FLEET_PREFIXES):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{module} imports {imported} at module scope; "
+                    "repro.fleet is the top of the stack — nothing below "
+                    "it may depend on the orchestrator (defer into the "
+                    "using function)",
                 )
         if imported == "repro.obs" or imported.startswith("repro.obs."):
             if _under(module, _NO_OBS_PREFIXES):

@@ -12,7 +12,11 @@ Subcommands:
   heterogeneous capacities) with invariant verdicts and the
   anonymity-degradation report (``--report``);
 - ``obs summarize <trace.jsonl>`` — render a run report from an exported
-  trace (top spans, per-subsystem event tables, round timelines);
+  trace (top spans, per-subsystem event tables, round timelines); also
+  accepts gzip traces and directories of traces;
+- ``fleet run|show|query|export|ingest|dash|serve`` — the resumable
+  sweep orchestrator with its persistent results store, live terminal
+  dashboard and Prometheus endpoint (:mod:`repro.fleet`);
 - ``lint`` — the determinism & layering static analyser
   (:mod:`repro.analysis`); also available dependency-free as
   ``python -m repro.analysis``.
@@ -23,6 +27,8 @@ Scale is selected with ``--preset quick|paper`` and ``--seeds N``.
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
@@ -151,11 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
     sum_p = obs_sub.add_parser(
         "summarize", help="render a run report from an exported JSONL trace"
     )
-    sum_p.add_argument("trace", help="path to a trace written by --trace-out")
+    sum_p.add_argument("trace",
+                       help="trace written by --trace-out (.jsonl or "
+                            ".jsonl.gz), or a directory of traces")
     sum_p.add_argument("--top-spans", type=int, default=10,
                        help="how many span names to chart (by cumulative wall time)")
     sum_p.add_argument("--max-series", type=int, default=12,
                        help="how many per-series round timelines to render")
+    sum_p.add_argument("--top", type=int, default=None, metavar="N",
+                       help="also chart the top N event kinds by count")
+
+    fleet_p = sub.add_parser(
+        "fleet", help="resumable sweep orchestrator (repro.fleet)"
+    )
+    from repro.fleet.cli import add_fleet_arguments
+
+    add_fleet_arguments(fleet_p)
 
     lint_p = sub.add_parser(
         "lint", help="run the determinism & layering linter (repro.analysis)"
@@ -347,10 +364,19 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     print(
         summarize_file(
-            args.trace, top_spans=args.top_spans, max_series=args.max_series
+            args.trace,
+            top_spans=args.top_spans,
+            max_series=args.max_series,
+            top_kinds=args.top,
         )
     )
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.cli import run as run_fleet_cli
+
+    return run_fleet_cli(args)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -370,6 +396,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "attack": _cmd_attack,
         "obs": _cmd_obs,
+        "fleet": _cmd_fleet,
         "lint": _cmd_lint,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `repro obs summarize | head`);
+        # detach so the interpreter's exit flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,132 @@
+"""Prometheus endpoint over a fleet store (``repro fleet serve``).
+
+:func:`build_fleet_registry` aggregates the store into one
+:class:`~repro.obs.MetricsRegistry` — job states, attempt counts,
+degradation counters, deterministic scenario metrics, and wall-time
+histograms — and :func:`serve_store` exposes it at ``/metrics`` in
+Prometheus text exposition format via a single-threaded stdlib
+``http.server``.  Every scrape re-replays the store, so a scraper
+pointed at a live sweep sees it progress; the registry built here
+round-trips through :func:`repro.obs.parse_prometheus` (tested), so a
+scrape archive can be folded back into structured form later.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional, Tuple
+
+from repro.fleet.store import JOB_STATES, FleetStore
+from repro.obs import MetricsRegistry
+
+
+def build_fleet_registry(store: FleetStore) -> MetricsRegistry:
+    """The store's aggregate state as a metrics registry."""
+    registry = MetricsRegistry()
+    states = store.job_states()
+    jobs = registry.gauge(
+        "repro_fleet_jobs", "Fleet jobs by lifecycle state."
+    )
+    for name in JOB_STATES:
+        jobs.set(
+            sum(1 for s in states.values() if s == name), state=name
+        )
+    events = registry.counter(
+        "repro_fleet_events_total", "Store job events by kind."
+    )
+    for event in store.events:
+        if event.get("type") == "job":
+            events.inc(1.0, event=str(event.get("event")))
+
+    degradation = registry.counter(
+        "repro_fleet_degradation_total",
+        "Summed per-job degradation counters across finished jobs.",
+    )
+    rounds = registry.counter(
+        "repro_fleet_rounds_total", "Simulated rounds across finished jobs."
+    )
+    wall = registry.histogram(
+        "repro_fleet_job_wall_seconds", "Per-job wall-clock duration."
+    )
+    pi = registry.gauge(
+        "repro_fleet_pi_mean",
+        "Mean forwarder-set size per scenario family/strategy group.",
+    )
+    sums: dict = {}
+    for record in store.results.values():
+        if record.get("kind") != "scenario":
+            continue
+        for key, value in (record.get("degradation") or {}).items():
+            if value:
+                degradation.inc(float(value), field=key)
+        metrics = record.get("metrics") or {}
+        if metrics.get("rounds_completed"):
+            rounds.inc(float(metrics["rounds_completed"]), outcome="completed")
+        if metrics.get("rounds_failed"):
+            rounds.inc(float(metrics["rounds_failed"]), outcome="failed")
+        timing = record.get("timing") or {}
+        if "wall_seconds" in timing:
+            wall.observe(float(timing["wall_seconds"]))
+        axes = record.get("axes") or {}
+        config = record.get("config") or {}
+        group = (
+            str(axes.get("family", "baseline")),
+            str(config.get("strategy", "")),
+        )
+        if metrics.get("pi_mean") is not None:
+            bucket = sums.setdefault(group, [0.0, 0])
+            bucket[0] += float(metrics["pi_mean"])
+            bucket[1] += 1
+    for (family, strategy), (total, count) in sorted(sums.items()):
+        pi.set(total / count, family=family, strategy=strategy)
+    return registry
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    store: FleetStore  # injected by serve_store
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.rstrip("/") not in ("", "/metrics"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = build_fleet_registry(self.store.reload()).to_prometheus()
+        payload = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes are not worth stderr noise
+
+
+def make_server(
+    store_path, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[HTTPServer, str]:
+    """An unstarted single-threaded server bound to ``host:port``
+    (port 0 picks a free one); returns it with its ``/metrics`` URL."""
+    store = FleetStore(store_path, create=False)
+    handler = type("BoundMetricsHandler", (_MetricsHandler,), {"store": store})
+    server = HTTPServer((host, port), handler)
+    url = f"http://{server.server_address[0]}:{server.server_address[1]}/metrics"
+    return server, url
+
+
+def serve_store(
+    store_path,
+    host: str = "127.0.0.1",
+    port: int = 9464,
+    progress: Optional[object] = print,
+) -> int:
+    """Serve ``/metrics`` until interrupted; returns the exit code."""
+    server, url = make_server(store_path, host=host, port=port)
+    if progress:
+        progress(f"[fleet] serving Prometheus metrics at {url} (Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -36,13 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
-from repro.obs.events import EventBus, ObsEvent, RunTrace
+from repro.obs.events import TRACE_SCHEMA, EventBus, ObsEvent, RunTrace
 from repro.obs.metrics import (
+    METRICS_SCHEMA,
     Counter,
     Gauge,
     HistogramMetric,
     MetricsRegistry,
 )
+from repro.obs.promtext import parse_prometheus
 from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, SpanTracer
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "EventBus",
     "Gauge",
     "HistogramMetric",
+    "METRICS_SCHEMA",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -59,6 +62,8 @@ __all__ = [
     "RunTrace",
     "SpanRecord",
     "SpanTracer",
+    "TRACE_SCHEMA",
+    "parse_prometheus",
 ]
 
 

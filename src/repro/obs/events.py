@@ -45,7 +45,9 @@ the in-memory form with the round-trip (:meth:`RunTrace.write_jsonl` /
 
 from __future__ import annotations
 
+import gzip
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional
@@ -54,6 +56,14 @@ from repro.obs.tracing import SpanRecord
 
 #: Bumped whenever the line schema changes incompatibly.
 TRACE_FORMAT_VERSION = 1
+
+#: Schema stamp written into the JSONL meta header.  Readers accept
+#: stamped and legacy (un-stamped) traces; an *unknown* stamp warns but
+#: still parses the known line types (forward compatibility — newer
+#: writers may add fields/kinds this reader ignores).
+TRACE_SCHEMA = "repro-obs/trace-v1"
+
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
 def _json_default(obj):
@@ -185,11 +195,16 @@ class RunTrace:
 
     # -- export / import -------------------------------------------------
     def write_jsonl(self, path) -> int:
-        """Write the trace as JSON Lines; returns the number of lines."""
+        """Write the trace as JSON Lines; returns the number of lines.
+
+        A path ending in ``.gz`` is gzip-compressed transparently (and
+        :meth:`read_jsonl` detects compression by content, not name).
+        """
         lines = [
             json.dumps(
                 {
                     "type": "meta",
+                    "schema": TRACE_SCHEMA,
                     "version": TRACE_FORMAT_VERSION,
                     **self.meta,
                 },
@@ -204,14 +219,29 @@ class RunTrace:
             json.dumps(s.to_json_obj(), default=_json_default)
             for s in self.spans
         )
-        Path(path).write_text("\n".join(lines) + "\n")
+        text = "\n".join(lines) + "\n"
+        if str(path).endswith(".gz"):
+            with gzip.open(path, "wt", encoding="utf-8") as fh:
+                fh.write(text)
+        else:
+            Path(path).write_text(text)
         return len(lines)
 
     @classmethod
     def read_jsonl(cls, path) -> "RunTrace":
-        """Parse a trace written by :meth:`write_jsonl`."""
+        """Parse a trace written by :meth:`write_jsonl`.
+
+        Accepts plain or gzip-compressed files (detected by the gzip
+        magic bytes, so ``.jsonl.gz`` artifacts need no special flag).
+        Forward compatibility: an unknown schema stamp or unknown line
+        type warns and is skipped rather than raising, so traces written
+        by a newer ``repro.obs`` still load their known parts.
+        """
+        raw = Path(path).read_bytes()
+        if raw[:2] == _GZIP_MAGIC:
+            raw = gzip.decompress(raw)
         trace = cls()
-        for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        for line_no, line in enumerate(raw.decode("utf-8").splitlines(), 1):
             line = line.strip()
             if not line:
                 continue
@@ -221,8 +251,16 @@ class RunTrace:
                 raise ValueError(f"{path}:{line_no}: invalid JSON: {exc}") from None
             kind = obj.get("type")
             if kind == "meta":
+                schema = obj.get("schema")
+                if schema is not None and schema != TRACE_SCHEMA:
+                    warnings.warn(
+                        f"{path}: trace schema {schema!r} is newer than "
+                        f"{TRACE_SCHEMA!r}; reading known fields only",
+                        stacklevel=2,
+                    )
                 meta = dict(obj)
                 meta.pop("type", None)
+                meta.pop("schema", None)
                 meta.pop("version", None)
                 trace.meta.update(meta)
             elif kind == "event":
@@ -230,7 +268,11 @@ class RunTrace:
             elif kind == "span":
                 trace.spans.append(SpanRecord.from_json_obj(obj))
             else:
-                raise ValueError(f"{path}:{line_no}: unknown line type {kind!r}")
+                warnings.warn(
+                    f"{path}:{line_no}: unknown line type {kind!r} skipped "
+                    "(written by a newer repro.obs?)",
+                    stacklevel=2,
+                )
         return trace
 
     # -- reconstruction helpers -----------------------------------------

@@ -23,11 +23,18 @@ from __future__ import annotations
 
 import json
 import re
+import warnings
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Schema stamp on the JSON export.  :meth:`MetricsRegistry.from_json`
+#: accepts stamped and legacy (bare-dict) documents, and warns — never
+#: crashes — on unknown stamps, instrument types, or extra fields, so
+#: the fleet store can ingest artifacts from newer/older writers.
+METRICS_SCHEMA = "repro-obs/metrics-v1"
 
 #: Sorted-tuple form of a label set; () is the label-less child.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -353,9 +360,71 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(
             {
-                name: self._instruments[name]._json_obj()
-                for name in self.names()
+                "schema": METRICS_SCHEMA,
+                "metrics": {
+                    name: self._instruments[name]._json_obj()
+                    for name in self.names()
+                },
             },
             indent=indent,
             sort_keys=True,
         )
+
+    # -- importer ---------------------------------------------------------
+    @classmethod
+    def from_json(cls, document: "str | Mapping[str, object]") -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_json` document.
+
+        Accepts the stamped ``repro-obs/metrics-v1`` envelope or the
+        legacy bare ``{name: instrument}`` dict.  Unknown schema stamps,
+        instrument types and extra per-instrument fields warn and are
+        skipped (forward compatibility).
+        """
+        obj = json.loads(document) if isinstance(document, str) else dict(document)
+        if "schema" in obj or "metrics" in obj:
+            schema = obj.get("schema")
+            if schema is not None and schema != METRICS_SCHEMA:
+                warnings.warn(
+                    f"metrics schema {schema!r} is newer than "
+                    f"{METRICS_SCHEMA!r}; reading known fields only",
+                    stacklevel=2,
+                )
+            for key in obj:
+                if key not in ("schema", "metrics"):
+                    warnings.warn(
+                        f"unknown metrics-export field {key!r} ignored",
+                        stacklevel=2,
+                    )
+            instruments = obj.get("metrics", {})
+        else:
+            instruments = obj
+        registry = cls()
+        for name in sorted(instruments):
+            spec = instruments[name]
+            mtype = spec.get("type")
+            help_text = str(spec.get("help", ""))
+            if mtype == "counter":
+                inst = registry.counter(name, help_text)
+                for entry in spec.get("values", []):
+                    key = _label_key(entry.get("labels", {}))
+                    inst._values[key] = float(entry["value"])
+            elif mtype == "gauge":
+                inst = registry.gauge(name, help_text)
+                for entry in spec.get("values", []):
+                    key = _label_key(entry.get("labels", {}))
+                    inst._values[key] = float(entry["value"])
+            elif mtype == "histogram":
+                hist = registry.histogram(
+                    name, help_text, buckets=spec.get("buckets", DEFAULT_BUCKETS)
+                )
+                for entry in spec.get("values", []):
+                    key = _label_key(entry.get("labels", {}))
+                    hist._counts[key] = [float(c) for c in entry["counts"]]
+                    hist._sums[key] = float(entry["sum"])
+                    hist._totals[key] = float(entry["count"])
+            else:
+                warnings.warn(
+                    f"unknown instrument type {mtype!r} for {name!r} skipped",
+                    stacklevel=2,
+                )
+        return registry

@@ -1,0 +1,180 @@
+"""Prometheus text-format parser: the read side of the exporter.
+
+:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus` emits text
+exposition format 0.0.4; :func:`parse_prometheus` inverts it back into a
+populated :class:`MetricsRegistry`, so scraped or archived ``/metrics``
+snapshots become queryable objects again (the fleet store and dashboard
+ingest path).  The round trip is exact: for any registry ``r``,
+``parse_prometheus(r.to_prometheus()).to_prometheus() == r.to_prometheus()``
+— including labelled children and histogram buckets, which are
+de-cumulated back into per-bucket counts.
+
+Forward compatibility mirrors the JSON reader: unknown metric types,
+malformed sample lines, and samples with no preceding ``# TYPE``
+declaration warn and are skipped (the latter would otherwise be
+ambiguous between counter and gauge), never raise.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, HistogramMetric, MetricsRegistry
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    if not raw:
+        return {}
+    return {name: _unescape(value) for name, value in _LABEL_RE.findall(raw)}
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Tuple[Optional[str], str]:
+    """(family name, sample suffix) for one sample name.
+
+    Histogram samples are named ``<family>_bucket/_sum/_count``; the
+    family is whichever declared histogram the name extends.
+    """
+    if name in types:
+        return name, ""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base, suffix
+    return None, ""
+
+
+def parse_prometheus(text: str) -> MetricsRegistry:
+    """Parse Prometheus text exposition format into a registry."""
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    # family -> label-key(sans le) -> {"buckets": [(bound, cumulative)],
+    #                                  "sum": float, "count": float}
+    hist_state: Dict[str, Dict[Tuple[Tuple[str, str], ...], Dict[str, object]]] = {}
+    registry = MetricsRegistry()
+
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3] if len(parts) > 3 else "untyped"
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            warnings.warn(
+                f"prometheus line {line_no}: unparseable sample {line!r} skipped",
+                stacklevel=2,
+            )
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        family, suffix = _family_of(name, types)
+        if family is None:
+            warnings.warn(
+                f"prometheus line {line_no}: sample {name!r} has no TYPE "
+                "declaration; skipped",
+                stacklevel=2,
+            )
+            continue
+        mtype = types[family]
+        help_text = helps.get(family, "")
+        if mtype == "counter":
+            counter: Counter = registry.counter(family, help_text)
+            counter._values[_key(labels)] = value
+        elif mtype == "gauge":
+            gauge: Gauge = registry.gauge(family, help_text)
+            gauge._values[_key(labels)] = value
+        elif mtype == "histogram":
+            bounds = labels.pop("le", None)
+            state = hist_state.setdefault(family, {}).setdefault(
+                _key(labels), {"buckets": [], "sum": 0.0, "count": 0.0}
+            )
+            if suffix == "_bucket":
+                state["buckets"].append((bounds, value))  # type: ignore[union-attr]
+            elif suffix == "_sum":
+                state["sum"] = value
+            elif suffix == "_count":
+                state["count"] = value
+        else:
+            warnings.warn(
+                f"prometheus line {line_no}: unknown metric type {mtype!r} "
+                f"for {family!r} skipped",
+                stacklevel=2,
+            )
+
+    for family, children in hist_state.items():
+        _materialise_histogram(registry, family, helps.get(family, ""), children)
+    return registry
+
+
+def _key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _materialise_histogram(
+    registry: MetricsRegistry,
+    family: str,
+    help_text: str,
+    children: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]],
+) -> None:
+    """De-cumulate bucket samples back into a :class:`HistogramMetric`."""
+    bounds: List[float] = []
+    for state in children.values():
+        finite = [
+            _parse_value(le)
+            for le, _cum in state["buckets"]  # type: ignore[union-attr]
+            if le is not None and le != "+Inf"
+        ]
+        if len(finite) > len(bounds):
+            bounds = finite
+    if not bounds:
+        warnings.warn(
+            f"histogram {family!r} has no finite buckets; skipped",
+            stacklevel=3,
+        )
+        return
+    hist: HistogramMetric = registry.histogram(family, help_text, buckets=bounds)
+    for key, state in children.items():
+        cumulative = {
+            _parse_value(le): cum
+            for le, cum in state["buckets"]  # type: ignore[union-attr]
+            if le is not None
+        }
+        counts: List[float] = []
+        previous = 0.0
+        for bound in hist.buckets:
+            cum = float(cumulative.get(bound, previous))
+            counts.append(cum - previous)
+            previous = cum
+        hist._counts[key] = counts
+        hist._sums[key] = float(state["sum"])  # type: ignore[arg-type]
+        hist._totals[key] = float(state["count"])  # type: ignore[arg-type]

@@ -1,18 +1,28 @@
-"""Render a human-readable run report from a JSONL trace.
+"""Render a human-readable run report from JSONL traces.
 
-Used by ``python -m repro obs summarize <trace.jsonl>``.  The report has
-four parts: the meta header, the top spans by cumulative wall time
-(bar chart via :func:`repro.sim.monitoring.ascii_bars`), per-subsystem
+Used by ``python -m repro obs summarize <trace.jsonl|dir>``.  The report
+has up to five parts: the meta header, the top spans by cumulative wall
+time (bar chart via :func:`repro.sim.monitoring.ascii_bars`), an
+optional top-N per-event-kind breakdown (``--top N``), per-subsystem
 event-count tables, and per-series round timelines (one compact line of
 round outcomes per connection series).
+
+The input may be a single trace (plain or gzip-compressed JSONL — the
+reader sniffs the magic bytes) or a directory, in which case every
+``*.jsonl`` / ``*.jsonl.gz`` inside is loaded and the report covers the
+merged event/span streams.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import List, Optional
 
 from repro.obs.events import ObsEvent, RunTrace
 from repro.sim.monitoring import ascii_bars
+
+#: Filename patterns recognised when summarising a directory.
+TRACE_PATTERNS = ("*.jsonl", "*.jsonl.gz")
 
 
 def _fmt_seconds(s: float) -> str:
@@ -30,6 +40,7 @@ def summarize_trace(
     trace: RunTrace,
     top_spans: int = 10,
     max_series: Optional[int] = 12,
+    top_kinds: Optional[int] = None,
 ) -> str:
     """The full report as one printable string."""
     out: List[str] = []
@@ -67,6 +78,24 @@ def summarize_trace(
                 f"mean={_fmt_seconds(mean)}  sim={agg['sim']:g} min"
             )
 
+    # -- top event kinds (--top N) ---------------------------------------
+    if top_kinds:
+        counts = trace.counts_by_kind()
+        ranked_kinds = sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top_kinds]
+        if ranked_kinds:
+            out.append("")
+            out.append(
+                f"== top event kinds by count (top {len(ranked_kinds)}) =="
+            )
+            out.append(
+                ascii_bars(
+                    [kind for kind, _ in ranked_kinds],
+                    [float(count) for _, count in ranked_kinds],
+                )
+            )
+
     # -- per-subsystem counter tables ------------------------------------
     by_subsystem = trace.counts_by_subsystem()
     if by_subsystem:
@@ -100,12 +129,48 @@ def summarize_trace(
     return "\n".join(out)
 
 
+def trace_paths(path) -> List[Path]:
+    """The trace files ``path`` names: itself, or its directory listing."""
+    p = Path(path)
+    if not p.is_dir():
+        return [p]
+    found: List[Path] = []
+    for pattern in TRACE_PATTERNS:
+        found.extend(p.glob(pattern))
+    return sorted(set(found))
+
+
+def load_traces(path) -> RunTrace:
+    """Load one trace file, or merge every trace in a directory.
+
+    Merged traces concatenate events and spans in filename order; the
+    meta header records the file count so the report is honest about
+    covering multiple runs (sequence numbers restart per file).
+    """
+    paths = trace_paths(path)
+    if not paths:
+        raise ValueError(f"no trace files ({'/'.join(TRACE_PATTERNS)}) in {path}")
+    if len(paths) == 1:
+        return RunTrace.read_jsonl(paths[0])
+    merged = RunTrace(meta={"merged_traces": len(paths)})
+    for p in paths:
+        trace = RunTrace.read_jsonl(p)
+        merged.events.extend(trace.events)
+        merged.spans.extend(trace.spans)
+    return merged
+
+
 def summarize_file(
     path,
     top_spans: int = 10,
     max_series: Optional[int] = 12,
+    top_kinds: Optional[int] = None,
 ) -> str:
-    """Load ``path`` (JSONL trace) and render its report."""
+    """Load ``path`` (a JSONL trace, optionally gzip-compressed, or a
+    directory of traces) and render its report."""
     return summarize_trace(
-        RunTrace.read_jsonl(path), top_spans=top_spans, max_series=max_series
+        load_traces(path),
+        top_spans=top_spans,
+        max_series=max_series,
+        top_kinds=top_kinds,
     )

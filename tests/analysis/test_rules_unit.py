@@ -356,3 +356,34 @@ class TestArch001:
         assert len(run_rule("ARCH001", src, "repro/network/churn.py")) == 1
         assert len(run_rule("ARCH001", src, "repro/obs/events.py")) == 1
         assert run_rule("ARCH001", src, "repro/experiments/runner.py") == []
+
+    def test_fleet_may_import_harness_and_obs(self):
+        src = (
+            "from repro.experiments.config import ExperimentConfig\n"
+            "from repro.obs import MetricsRegistry\n"
+        )
+        assert run_rule("ARCH001", src, "repro/fleet/spec.py") == []
+
+    def test_nobody_below_fleet_imports_fleet(self):
+        src = "from repro.fleet.store import FleetStore\n"
+        for path in (
+            "repro/core/routing.py",
+            "repro/gametheory/equilibrium.py",
+            "repro/obs/events.py",
+            "repro/experiments/cli.py",
+        ):
+            findings = run_rule("ARCH001", src, path)
+            assert len(findings) == 1, path
+            assert "repro.fleet" in findings[0].message
+
+    def test_fleet_internal_imports_allowed(self):
+        src = "from repro.fleet.spec import FleetJob\n"
+        assert run_rule("ARCH001", src, "repro/fleet/executor.py") == []
+
+    def test_lazy_fleet_import_in_handler_allowed(self):
+        src = """
+        def handler(args):
+            from repro.fleet.cli import run
+            return run(args)
+        """
+        assert run_rule("ARCH001", src, "repro/experiments/cli.py") == []

@@ -105,7 +105,8 @@ def test_run_metrics_json_format(tmp_path):
     )
     assert rc == 0
     obj = json.loads(metrics_file.read_text())
-    assert obj["repro_perf_edges_scored_total"]["type"] == "counter"
+    assert obj["schema"] == "repro-obs/metrics-v1"
+    assert obj["metrics"]["repro_perf_edges_scored_total"]["type"] == "counter"
 
 
 def test_obs_summarize_command(capsys, tmp_path):
@@ -119,11 +120,13 @@ def test_obs_summarize_command(capsys, tmp_path):
         ]
     )
     capsys.readouterr()
-    rc = main(["obs", "summarize", str(trace_file), "--max-series", "2"])
+    rc = main(["obs", "summarize", str(trace_file), "--max-series", "2",
+               "--top", "5"])
     out = capsys.readouterr().out
     assert rc == 0
     assert "== run trace ==" in out
     assert "top spans by cumulative wall time" in out
+    assert "top event kinds by count" in out
     assert "per-series round timelines" in out
 
 

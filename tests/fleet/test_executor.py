@@ -1,0 +1,221 @@
+"""Fleet executor: resume semantics, retry, pool path, acceptance.
+
+Pool-path workers must be module-level (picklable); the serial path
+accepts closures, which the retry tests exploit.
+"""
+
+import json
+import os
+
+from repro.fleet.executor import execute_job, run_fleet
+from repro.fleet.spec import SweepSpec
+from repro.fleet.store import FleetStore
+from repro.sim.faults import RetryPolicy
+
+TINY_BASE = {
+    "n_nodes": 16,
+    "n_pairs": 4,
+    "total_transmissions": 24,
+    "use_bank": False,
+}
+
+FAST_RETRY = RetryPolicy(
+    max_retries=2, base_delay=0.001, max_delay=0.001, jitter=0.0
+)
+
+
+def tiny_spec(seeds=(0, 1), strategies=("random", "utility-I")):
+    return SweepSpec(
+        name="t",
+        base=TINY_BASE,
+        axes={"strategy": list(strategies)},
+        seeds=seeds,
+        backends=("numpy",),
+    )
+
+
+def fake_worker(payload):
+    """Deterministic stand-in for execute_job (module-level: picklable)."""
+    seed = payload["config"]["seed"]
+    return {
+        "job_id": payload["job_id"],
+        "kind": "scenario",
+        "spec": payload["spec"],
+        "axes": dict(payload["axes"]),
+        "config": dict(payload["config"]),
+        "metrics": {"pi_mean": 2.0 + seed, "throughput": 1.0},
+        "degradation": {},
+        "timing": {"wall_seconds": 0.0},
+    }
+
+
+def crashing_worker(payload):
+    raise RuntimeError("boom")
+
+
+def env_flaky_worker(payload):
+    """Fails hard until the sentinel file exists (pool-crash recovery)."""
+    sentinel = os.environ["FLEET_TEST_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("tripped")
+        os._exit(1)
+    return fake_worker(payload)
+
+
+class TestSerial:
+    def test_all_jobs_complete(self, tmp_path):
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(tiny_spec(), store, n_jobs=1, worker=fake_worker)
+        assert outcome.converged and not outcome.interrupted
+        assert len(outcome.completed) == 4
+        assert set(store.completed_job_ids()) == set(outcome.completed)
+        assert all(n == 1 for n in store.started_counts().values())
+
+    def test_second_run_skips_everything(self, tmp_path):
+        spec = tiny_spec()
+        store = FleetStore(tmp_path / "s")
+        run_fleet(spec, store, n_jobs=1, worker=fake_worker)
+        again = run_fleet(
+            spec, FleetStore(tmp_path / "s"), n_jobs=1, worker=fake_worker
+        )
+        assert again.converged
+        assert len(again.skipped) == 4 and not again.completed
+
+    def test_retry_recovers_from_transient_crash(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky(payload):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return fake_worker(payload)
+
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(
+            tiny_spec(seeds=(0,), strategies=("random",)),
+            store,
+            n_jobs=1,
+            worker=flaky,
+            retry=FAST_RETRY,
+        )
+        assert outcome.converged
+        assert list(store.started_counts().values()) == [2]
+        retries = [
+            e
+            for e in store.events
+            if e.get("event") == "resumable" and e.get("reason") == "retry"
+        ]
+        assert len(retries) == 1
+
+    def test_exhausted_retries_mark_failed(self, tmp_path):
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(
+            tiny_spec(seeds=(0,), strategies=("random",)),
+            store,
+            n_jobs=1,
+            worker=crashing_worker,
+            retry=FAST_RETRY,
+        )
+        assert outcome.failed and not outcome.converged
+        assert store.job_states()[outcome.failed[0]] == "failed"
+
+    def test_max_jobs_marks_rest_resumable(self, tmp_path):
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(
+            tiny_spec(), store, n_jobs=1, max_jobs=1, worker=fake_worker
+        )
+        assert outcome.interrupted and not outcome.converged
+        assert len(outcome.completed) == 1
+        assert len(outcome.resumable) == 3
+        states = store.job_states()
+        assert sorted(states.values()) == [
+            "completed",
+            "resumable",
+            "resumable",
+            "resumable",
+        ]
+
+
+class TestResume:
+    def test_resume_runs_exactly_the_remaining_jobs(self, tmp_path):
+        spec = tiny_spec()
+        store = FleetStore(tmp_path / "s")
+        first = run_fleet(
+            spec, store, n_jobs=1, max_jobs=2, worker=fake_worker
+        )
+        assert len(first.completed) == 2
+
+        resumed_store = FleetStore(tmp_path / "s")
+        second = run_fleet(
+            spec, resumed_store, n_jobs=1, worker=fake_worker
+        )
+        assert second.converged
+        assert sorted(second.skipped) == sorted(first.completed)
+        assert sorted(second.completed) == sorted(first.resumable)
+        # Re-execution audit: no job id ever started twice.
+        assert all(n == 1 for n in resumed_store.started_counts().values())
+
+
+class TestPool:
+    def test_pool_completes_all_jobs(self, tmp_path):
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(
+            tiny_spec(), store, n_jobs=2, worker=fake_worker, heartbeat=30.0
+        )
+        assert outcome.converged
+        assert len(store.completed_job_ids()) == 4
+
+    def test_pool_recovers_from_worker_hard_crash(self, tmp_path, monkeypatch):
+        sentinel = tmp_path / "sentinel"
+        monkeypatch.setenv("FLEET_TEST_SENTINEL", str(sentinel))
+        store = FleetStore(tmp_path / "s")
+        outcome = run_fleet(
+            tiny_spec(seeds=(0,), strategies=("random",)),
+            store,
+            n_jobs=2,
+            worker=env_flaky_worker,
+            retry=FAST_RETRY,
+            heartbeat=30.0,
+        )
+        assert outcome.converged, outcome.summary()
+        assert store.started_counts()[outcome.completed[0]] == 2
+
+
+class TestAcceptance:
+    def test_interrupted_plus_resumed_equals_fresh(self, tmp_path):
+        """The ISSUE acceptance bar: a killed-and-resumed sweep's
+        aggregates are bit-identical to an uninterrupted run's."""
+        spec = tiny_spec()
+
+        interrupted = FleetStore(tmp_path / "interrupted")
+        first = run_fleet(spec, interrupted, n_jobs=1, max_jobs=2)
+        assert first.interrupted and len(first.completed) == 2
+        resumed = FleetStore(tmp_path / "interrupted")
+        second = run_fleet(spec, resumed, n_jobs=1)
+        assert second.converged
+        assert all(n == 1 for n in resumed.started_counts().values())
+
+        fresh = FleetStore(tmp_path / "fresh")
+        assert run_fleet(spec, fresh, n_jobs=1).converged
+
+        for select in ("metrics.pi_mean", "metrics.throughput"):
+            got = resumed.query(group_by=["axes.strategy"], select=select)
+            want = fresh.query(group_by=["axes.strategy"], select=select)
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                want, sort_keys=True
+            )
+
+    def test_execute_job_record_shape(self):
+        spec = tiny_spec(seeds=(0,), strategies=("random",))
+        (job,) = spec.expand()
+        record = execute_job(job.payload())
+        assert record["job_id"] == job.job_id
+        assert record["kind"] == "scenario"
+        metrics = record["metrics"]
+        assert metrics["pi_mean"] > 0
+        assert metrics["rounds_completed"] > 0
+        assert metrics["throughput"] == (
+            metrics["rounds_completed"] / metrics["sim_duration"]
+        )
+        assert record["timing"]["wall_seconds"] >= 0

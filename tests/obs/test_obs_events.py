@@ -82,11 +82,17 @@ class TestRunTrace:
         with pytest.raises(ValueError, match="invalid JSON"):
             RunTrace.read_jsonl(path)
 
-    def test_read_rejects_unknown_type(self, tmp_path):
+    def test_read_warns_on_unknown_type(self, tmp_path):
+        # Forward compatibility: a newer writer's line kinds are skipped
+        # with a warning, never a crash.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type": "mystery"}\n')
-        with pytest.raises(ValueError, match="unknown line type"):
-            RunTrace.read_jsonl(path)
+        path.write_text(
+            '{"type": "mystery"}\n'
+            '{"type": "event", "seq": 0, "t": 1.0, "kind": "path.form"}\n'
+        )
+        with pytest.warns(UserWarning, match="unknown line type"):
+            trace = RunTrace.read_jsonl(path)
+        assert len(trace.events) == 1
 
     def test_reconstruction_helpers(self):
         trace = self._trace()

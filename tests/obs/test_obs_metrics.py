@@ -136,9 +136,44 @@ class TestRegistry:
         reg.counter("repro_a_total").inc(1.0, kind="x")
         reg.histogram("repro_h", buckets=(1.0,)).observe(0.5)
         obj = json.loads(reg.to_json())
-        assert obj["repro_a_total"]["type"] == "counter"
-        assert obj["repro_a_total"]["values"][0]["labels"] == {"kind": "x"}
-        assert obj["repro_h"]["type"] == "histogram"
+        assert obj["schema"] == "repro-obs/metrics-v1"
+        metrics = obj["metrics"]
+        assert metrics["repro_a_total"]["type"] == "counter"
+        assert metrics["repro_a_total"]["values"][0]["labels"] == {"kind": "x"}
+        assert metrics["repro_h"]["type"] == "histogram"
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc(3.0, kind="x")
+        reg.gauge("repro_g").set(1.5, node="2")
+        reg.histogram("repro_h", buckets=(1.0, 5.0)).observe(0.5)
+        back = MetricsRegistry.from_json(reg.to_json())
+        assert back.to_prometheus() == reg.to_prometheus()
+
+    def test_from_json_accepts_legacy_bare_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc(2.0)
+        bare = json.loads(reg.to_json())["metrics"]
+        back = MetricsRegistry.from_json(bare)
+        assert back.counter("repro_a_total").value() == 2.0
+
+    def test_from_json_warns_on_newer_schema(self):
+        doc = {
+            "schema": "repro-obs/metrics-v2",
+            "metrics": {},
+            "shiny_new_field": 1,
+        }
+        with pytest.warns(UserWarning):
+            MetricsRegistry.from_json(doc)
+
+    def test_from_json_warns_on_unknown_instrument(self):
+        doc = {
+            "schema": "repro-obs/metrics-v1",
+            "metrics": {"repro_x": {"type": "summary", "values": []}},
+        }
+        with pytest.warns(UserWarning, match="unknown instrument"):
+            back = MetricsRegistry.from_json(doc)
+        assert len(back) == 0
 
     def test_registry_pickles(self):
         # ScenarioResult.metrics crosses the REPRO_JOBS process pool.

@@ -1,0 +1,87 @@
+"""Prometheus text-format round trip: exporter -> parser -> registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import parse_prometheus
+
+
+def _full_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_msgs_total", "Messages by kind.")
+    c.inc(3.0, kind="drop")
+    c.inc(7.0, kind="forward")
+    g = reg.gauge("repro_depth", "Current depth.")
+    g.set(1.5)
+    g.set(-2.0, node="4")
+    h = reg.histogram("repro_latency_seconds", "Latency.", buckets=(0.1, 0.5, 2.0))
+    for v in (0.05, 0.3, 0.3, 1.0, 99.0):
+        h.observe(v)
+    h.observe(0.2, path="long")
+    return reg
+
+
+class TestRoundTrip:
+    def test_text_round_trip_is_exact(self):
+        reg = _full_registry()
+        text = reg.to_prometheus()
+        assert parse_prometheus(text).to_prometheus() == text
+
+    def test_values_and_labels_survive(self):
+        back = parse_prometheus(_full_registry().to_prometheus())
+        assert back.counter("repro_msgs_total").value(kind="drop") == 3.0
+        assert back.counter("repro_msgs_total").value(kind="forward") == 7.0
+        assert back.gauge("repro_depth").value() == 1.5
+        assert back.gauge("repro_depth").value(node="4") == -2.0
+
+    def test_histogram_buckets_decumulated(self):
+        back = parse_prometheus(_full_registry().to_prometheus())
+        hist = back.get("repro_latency_seconds")
+        assert hist.buckets == (0.1, 0.5, 2.0)
+        # observations: 0.05 | 0.3, 0.3 | 1.0 (| 99.0 beyond +Inf-1)
+        assert hist._counts[()] == [1.0, 2.0, 1.0]
+        assert hist.count() == 5.0
+        assert hist.sum() == pytest.approx(100.65)
+        assert hist.count(path="long") == 1.0
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_odd_total").inc(1.0, text='say "hi"\nback\\slash')
+        text = reg.to_prometheus()
+        back = parse_prometheus(text)
+        assert back.to_prometheus() == text
+
+    def test_empty_registry(self):
+        assert parse_prometheus("").to_prometheus() == ""
+
+
+class TestForwardCompat:
+    def test_unparseable_line_warns_and_skips(self):
+        text = "# TYPE repro_x counter\nrepro_x 1.0\n}}} nonsense\n"
+        with pytest.warns(UserWarning, match="unparseable"):
+            back = parse_prometheus(text)
+        assert back.counter("repro_x").value() == 1.0
+
+    def test_sample_without_type_warns(self):
+        with pytest.warns(UserWarning, match="no TYPE"):
+            back = parse_prometheus("repro_mystery 4.0\n")
+        assert len(back) == 0
+
+    def test_unknown_type_warns(self):
+        text = "# TYPE repro_s summary\nrepro_s 1.0\n"
+        with pytest.warns(UserWarning, match="unknown metric type"):
+            back = parse_prometheus(text)
+        assert len(back) == 0
+
+    def test_scenario_metrics_round_trip(self):
+        """The real exporter output (a scenario's registry) survives."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.scenario import run_scenario
+
+        result = run_scenario(
+            ExperimentConfig(
+                n_nodes=16, n_pairs=4, total_transmissions=24, use_bank=False
+            )
+        )
+        text = result.metrics.to_prometheus()
+        assert parse_prometheus(text).to_prometheus() == text

@@ -131,6 +131,34 @@ class TestSummarize:
         report = summarize_file(path)
         assert "== run trace ==" in report
 
+    def test_gzip_round_trip(self, tmp_path, traced_result):
+        plain = tmp_path / "trace.jsonl"
+        gz = tmp_path / "trace.jsonl.gz"
+        traced_result.trace.write_jsonl(plain)
+        traced_result.trace.write_jsonl(gz)
+        assert gz.stat().st_size < plain.stat().st_size
+        back = RunTrace.read_jsonl(gz)
+        assert back.counts_by_kind() == traced_result.trace.counts_by_kind()
+        assert "== run trace ==" in summarize_file(gz)
+
+    def test_directory_of_traces_merges(self, tmp_path, traced_result):
+        traced_result.trace.write_jsonl(tmp_path / "a.jsonl")
+        traced_result.trace.write_jsonl(tmp_path / "b.jsonl.gz")
+        report = summarize_file(tmp_path)
+        assert "merged_traces: 2" in report
+        n = len(traced_result.trace.events)
+        assert f"events: {2 * n} " in report
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace files"):
+            summarize_file(tmp_path)
+
+    def test_top_kinds_breakdown(self, traced_result):
+        report = summarize_trace(traced_result.trace, top_kinds=3)
+        assert "== top event kinds by count" in report
+        # Omitted by default.
+        assert "top event kinds" not in summarize_trace(traced_result.trace)
+
 
 @pytest.mark.chaos
 class TestChaosTraceRoundTrip:

@@ -1,0 +1,134 @@
+"""Determinism guards for sweep expansion and job identity.
+
+The resume contract hinges on two properties: expanding a spec yields
+the same job ids regardless of how the spec was *written down* (axis
+declaration order, value order), and the ids are stable across
+interpreter invocations with different ``PYTHONHASHSEED`` values
+(nothing hashes a set or relies on dict iteration entropy).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.fleet.spec import SweepSpec, job_id_for
+
+AXIS_POOL = {
+    "strategy": ["random", "utility-I", "utility-II"],
+    "tau": [1.5, 2.0, 3.0],
+    "malicious_fraction": [0.0, 0.1, 0.2],
+    "topology": ["random", "regular"],
+}
+
+
+@st.composite
+def axis_subsets(draw):
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(AXIS_POOL)), min_size=1, max_size=3, unique=True
+        )
+    )
+    axes = {}
+    for name in names:
+        values = draw(
+            st.lists(
+                st.sampled_from(AXIS_POOL[name]),
+                min_size=1,
+                max_size=len(AXIS_POOL[name]),
+                unique=True,
+            )
+        )
+        axes[name] = values
+    return axes
+
+
+def _spec(axes, seeds):
+    return SweepSpec(
+        name="prop",
+        base={"n_nodes": 16, "n_pairs": 4, "total_transmissions": 24},
+        axes=axes,
+        seeds=tuple(seeds),
+        backends=("numpy",),
+    )
+
+
+@given(axes=axis_subsets(), seeds=st.lists(
+    st.integers(min_value=0, max_value=10), min_size=1, max_size=3, unique=True
+))
+@settings(max_examples=25, deadline=None)
+def test_expansion_independent_of_declaration_order(axes, seeds):
+    forward = _spec(axes, seeds).expand()
+    reversed_axes = {
+        name: list(reversed(values))
+        for name, values in reversed(list(axes.items()))
+    }
+    shuffled = _spec(reversed_axes, seeds).expand()
+    # Same id set, same id -> coordinates mapping; only list order may
+    # differ (and only from the reversed *value* grids).
+    assert {j.job_id for j in forward} == {j.job_id for j in shuffled}
+    by_id = {j.job_id: j for j in shuffled}
+    for job in forward:
+        assert dict(by_id[job.job_id].axes) == dict(job.axes)
+        assert by_id[job.job_id].config == job.config
+
+
+@given(axes=axis_subsets())
+@settings(max_examples=25, deadline=None)
+def test_job_ids_distinct_within_a_spec(axes):
+    jobs = _spec(axes, (0, 1)).expand()
+    assert len({j.job_id for j in jobs}) == len(jobs)
+
+
+def test_job_id_matches_manual_resolution():
+    spec = _spec({"tau": [2.5]}, (3,))
+    (job,) = spec.expand()
+    manual = ExperimentConfig(
+        n_nodes=16,
+        n_pairs=4,
+        total_transmissions=24,
+        tau=2.5,
+        seed=3,
+        backend="numpy",
+    )
+    assert job.job_id == job_id_for(manual)
+
+
+_HASHSEED_PROBE = """
+import json, sys
+from repro.fleet.spec import SweepSpec
+spec = SweepSpec(
+    name="probe",
+    base={"n_nodes": 16, "n_pairs": 4, "total_transmissions": 24},
+    axes={"strategy": ["random", "utility-I"], "tau": [1.5, 2.5]},
+    seeds=(0, 1),
+    backends=("numpy",),
+)
+print(json.dumps([j.job_id for j in spec.expand()]))
+"""
+
+
+def test_job_ids_stable_across_pythonhashseed():
+    """Two interpreters with different hash seeds agree on every id."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    outputs = []
+    for seed in ("0", "424242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_PROBE],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1]
+    assert len(set(outputs[0])) == 8
