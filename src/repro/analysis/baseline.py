@@ -51,6 +51,9 @@ class Baseline:
         return cls([f.to_dict() for f in sorted(findings)])
 
     def write(self, path: Path) -> None:
+        """Atomic write (tmp + rename), like the fleet store's index: a
+        crash mid-``--update-baseline``/``--prune-baseline`` leaves the
+        previous baseline intact, never a truncated one."""
         payload = {
             "version": BASELINE_VERSION,
             "comment": (
@@ -60,7 +63,26 @@ class Baseline:
             ),
             "findings": self.entries,
         }
-        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        tmp.replace(path)
+
+    def without(self, stale: Sequence[Fingerprint]) -> "Baseline":
+        """A new baseline minus ``stale`` fingerprints (multiset-aware).
+
+        Each stale fingerprint removes one matching entry, mirroring how
+        :meth:`partition` consumes budget, so a fingerprint baselined N
+        times and now occurring N-k times keeps exactly N-k entries.
+        """
+        to_drop = Counter(stale)
+        kept: List[Dict[str, object]] = []
+        for entry in self.entries:
+            fp = (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+            if to_drop.get(fp, 0) > 0:
+                to_drop[fp] -= 1
+                continue
+            kept.append(entry)
+        return Baseline(kept)
 
     def partition(
         self, findings: Sequence[Finding]

@@ -1,0 +1,150 @@
+"""Content-hash result cache for the per-file lint phase.
+
+The cache maps a file's *display path* to the per-file findings computed
+for a given (content sha256, rule set) pair, so an unchanged file is
+never re-analysed.  Two stamps guard correctness:
+
+- a **schema stamp** (:data:`CACHE_SCHEMA`): a foreign or future schema
+  warns to stderr and rebuilds from empty rather than crashing — the
+  cache is an accelerator, never a source of truth;
+- a **rules signature**: a sha256 over the source of every module in
+  ``repro.analysis`` itself, so editing any rule (or the pipeline)
+  invalidates the whole cache.
+
+Only the *per-file* phase is cached.  Project-phase findings depend on
+every other file in the run, so they are recomputed each time (they are
+a small fraction of the work).  Entries not touched by the current run
+are evicted on write, which keeps the file bounded by the linted tree.
+Writes are atomic (tmp + rename), like the fleet store's index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+CACHE_SCHEMA = "repro-lint-cache/v1"
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+_rules_signature: Optional[str] = None
+
+
+def rules_signature() -> str:
+    """sha256 over the analysis package's own sources.
+
+    Any edit to a rule, the pipeline, or the project graph changes this
+    signature and drops every cached result.  Computed once per process.
+    """
+    global _rules_signature
+    if _rules_signature is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                digest.update(b"<unreadable>")
+            digest.update(b"\0")
+        _rules_signature = digest.hexdigest()
+    return _rules_signature
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """Per-file lint results keyed by display path + content digest."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self._touched: Set[str] = set()
+        self._signature = rules_signature()
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"warning: unreadable lint cache {self.path} ({exc}); rebuilding",
+                file=sys.stderr,
+            )
+            return
+        schema = data.get("schema") if isinstance(data, dict) else None
+        if schema != CACHE_SCHEMA:
+            print(
+                f"warning: foreign lint cache schema {schema!r} in {self.path} "
+                f"(expected {CACHE_SCHEMA}); rebuilding",
+                file=sys.stderr,
+            )
+            return
+        if data.get("rules_signature") != self._signature:
+            # The analysis code itself changed; every result is suspect.
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(
+        self, display_path: str, digest: str, codes: List[str]
+    ) -> Optional[Dict[str, object]]:
+        """The cached per-file result, or None on any mismatch."""
+        entry = self.entries.get(display_path)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("sha256") != digest or entry.get("codes") != codes:
+            return None
+        self._touched.add(display_path)
+        return entry
+
+    def put(
+        self,
+        display_path: str,
+        digest: str,
+        codes: List[str],
+        findings: List[Dict[str, object]],
+        suppressed: List[Dict[str, object]],
+        error: Optional[str],
+    ) -> None:
+        self.entries[display_path] = {
+            "sha256": digest,
+            "codes": codes,
+            "findings": findings,
+            "suppressed": suppressed,
+            "error": error,
+        }
+        self._touched.add(display_path)
+
+    def write(self) -> None:
+        """Atomically persist, evicting entries this run never touched."""
+        kept = {
+            path: self.entries[path]
+            for path in sorted(self._touched)
+            if path in self.entries
+        }
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "rules_signature": self._signature,
+            "entries": kept,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            tmp.replace(self.path)
+        except OSError as exc:
+            print(
+                f"warning: could not write lint cache {self.path}: {exc}",
+                file=sys.stderr,
+            )

@@ -19,11 +19,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.pipeline import lint_paths
+from repro.analysis.cache import DEFAULT_CACHE_NAME, LintCache
+from repro.analysis.pipeline import default_jobs, lint_paths
 from repro.analysis.registry import all_rules
 from repro.analysis.reporters import render
 
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
+DEFAULT_API_SURFACE_NAME = "api-surface.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +57,39 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline to grandfather the current findings",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline minus entries that no longer match "
+        "anything (atomic write), then report as usual",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelise the per-file phase over N processes "
+        "(default: $REPRO_JOBS, else serial); output is byte-identical "
+        "to a serial run",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help=f"per-file result cache (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache for this run",
+    )
+    parser.add_argument(
+        "--api-surface",
+        default=None,
+        metavar="PATH",
+        help="regenerate the public API surface snapshot (ARCH002) at "
+        "PATH after linting",
     )
     parser.add_argument(
         "--select",
@@ -127,16 +162,29 @@ def run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache) if args.cache else Path(DEFAULT_CACHE_NAME))
+
+    api_surface_out = Path(args.api_surface) if args.api_surface else None
+
     try:
         report = lint_paths(
             paths,
             select=select,
             ignore=ignore,
             baseline=None if args.update_baseline else baseline,
+            jobs=max(1, jobs),
+            cache=cache,
+            api_surface_out=api_surface_out,
         )
     except ValueError as exc:  # unknown rule code from --select/--ignore
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if api_surface_out is not None:
+        print(f"api surface written: {api_surface_out}", file=sys.stderr)
 
     if args.update_baseline:
         target = baseline_path or Path(DEFAULT_BASELINE_NAME)
@@ -146,6 +194,22 @@ def run(args: argparse.Namespace) -> int:
             f"{'s' if len(report.new) != 1 else ''} grandfathered in {target}"
         )
         return 0
+
+    if args.prune_baseline:
+        if baseline is None or baseline_path is None:
+            print(
+                "error: --prune-baseline needs an existing baseline file",
+                file=sys.stderr,
+            )
+            return 2
+        pruned = baseline.without(report.stale_baseline)
+        pruned.write(baseline_path)
+        print(
+            f"baseline pruned: {len(report.stale_baseline)} stale entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} removed, "
+            f"{len(pruned)} kept in {baseline_path}"
+        )
+        report.stale_baseline = []
 
     _print(render(report, args.format, statistics=args.statistics))
     return report.exit_code

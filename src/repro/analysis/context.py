@@ -90,6 +90,11 @@ class FileContext:
         self.module = module_name_for(path)
         self.tree: ast.Module = ast.parse(source, filename=str(path))
         self.noqa = parse_noqa(source)
+        #: Whole-program view, set by the pipeline's project phase (None
+        #: when linting a single file outside ``lint_paths``).  Typed
+        #: loosely to keep this module import-light; it is a
+        #: ``repro.analysis.project.ProjectContext`` when present.
+        self.project: Optional[object] = None
         self._imports: Optional[Dict[str, str]] = None
 
     @property

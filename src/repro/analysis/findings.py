@@ -42,6 +42,17 @@ class Finding:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the result cache)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            code=str(data["code"]),
+            message=str(data["message"]),
+        )
+
     def render(self) -> str:
         """``path:line:col: CODE message`` — the text-report line."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

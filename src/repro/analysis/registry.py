@@ -32,6 +32,17 @@ class Rule(abc.ABC):
     #: One-paragraph determinism/architecture rationale (shown by
     #: ``repro lint --list-rules`` and quoted in docs).
     rationale: str = ""
+    #: Project-aware rules consult ``ctx.project`` (the whole-program
+    #: graph) and run in the serial phase B of the pipeline; per-file
+    #: rules run (and cache, and parallelise) in phase A.  A
+    #: project-aware rule must degrade gracefully when ``ctx.project``
+    #: is ``None`` (fixture tests lint single files).
+    requires_project: bool = False
+    #: Non-gating rules produce *advisory* findings: reported, never
+    #: counted into the exit code, never baselined.  Used for drift
+    #: surfacing (ARCH002) where a finding is a review prompt, not a
+    #: defect.
+    gating: bool = True
 
     @abc.abstractmethod
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -3,9 +3,10 @@
 Adding a rule: create (or extend) a module here, subclass
 :class:`repro.analysis.registry.Rule`, decorate with ``@register``, and
 import the module below.  Codes are grouped by family: ``DETxxx``
-determinism, ``ARCHxxx`` layering, ``PERFxxx`` performance conventions.
+determinism, ``ARCHxxx`` layering, ``CONCxxx`` concurrency/fork-safety,
+``PERFxxx`` performance conventions.
 """
 
-from repro.analysis.rules import determinism, layering, perf
+from repro.analysis.rules import concurrency, determinism, layering, perf
 
-__all__ = ["determinism", "layering", "perf"]
+__all__ = ["concurrency", "determinism", "layering", "perf"]

@@ -1,4 +1,4 @@
-"""Determinism rules DET001-DET004.
+"""Determinism rules DET001-DET005.
 
 Every correctness claim the reproduction makes — bit-identical golden
 runs, seed+FaultPlan => identical degradation, obs-disabled runs
@@ -9,7 +9,10 @@ identical to goldens — rests on conventions these rules mechanise:
 - simulated paths read the engine clock, never the wall clock;
 - RNG draws never consume from an unordered iteration;
 - observability emissions happen strictly *after* the draws they
-  describe.
+  describe;
+- and (DET005, project-aware) no code *transitively reachable* from the
+  sim hot-path entry points reads the wall clock or the process-global
+  RNG, even when it lives lexically outside the sim module scopes.
 """
 
 from __future__ import annotations
@@ -335,6 +338,87 @@ class EmitBeforeDrawRule(Rule):
                         )
             for child_block in _child_blocks(stmt):
                 yield from self._check_block(ctx, qual, child_block, draw)
+
+
+@register
+class ReachableNondeterminismRule(Rule):
+    """DET005: nondeterminism reachable from a sim hot-path entry point.
+
+    DET002 polices the sim module scopes lexically; this rule follows the
+    *call graph* instead, catching a wall-clock read or global RNG draw
+    in a helper module (``repro.experiments`` utilities, future service
+    code) that the hot path actually executes.  Sim-scope modules are
+    skipped (DET001/DET002 already own them) and ``repro.obs`` is exempt
+    by design — its wall-clock use is observational and never feeds
+    results.
+    """
+
+    code = "DET005"
+    name = "reachable-nondeterminism"
+    requires_project = True
+    rationale = (
+        "Seed -> result determinism is a whole-program property: a "
+        "wall-clock read or process-global RNG draw breaks replays from "
+        "*anywhere* the hot path can reach, not just from modules named "
+        "sim/core/network.  DET005 computes reachability from the sim "
+        "entry points (run_scenario, PathBuilder.build_round, the kernel "
+        "batch calls) over the project call graph and flags hazards in "
+        "reached functions that the lexical rules cannot see."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        module = ctx.module
+        if not (module == "repro" or module.startswith("repro.")):
+            return
+        if _in_sim_scope(module):
+            return  # DET001/DET002 police these lexically, everywhere
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            return  # observational wall-clock by design
+        info = project.modules.get(module)
+        if info is None or info.ctx is not ctx:
+            return  # duplicate module name: the project tracks another copy
+        from repro.analysis.project import SIM_HOT_ENTRY_POINTS
+
+        reach = project.reachable_from(SIM_HOT_ENTRY_POINTS)
+        imports = ctx.imports
+        for fn in project.functions_in(module):
+            witness = reach.get(fn.qualname)
+            if witness is None:
+                continue
+            # Walk fn's own scope only: nested defs are separate
+            # FunctionInfos, flagged iff themselves reachable.
+            for sub in _walk_skip_functions(fn.node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                target = resolve_call_target(sub, imports)
+                if target is None:
+                    continue
+                hazard = self._hazard(target, sub)
+                if hazard:
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"{hazard} in {fn.qualname}, which is reachable "
+                        f"from sim entry point {witness}; hot-path "
+                        "callees must stay deterministic (engine clock "
+                        "/ seeded substreams only)",
+                    )
+
+    def _hazard(self, target: str, node: ast.Call) -> Optional[str]:
+        if target in _WALL_CLOCK_CALLS:
+            return f"wall-clock call {target}()"
+        mod, _, attr = target.rpartition(".")
+        if mod == "random" and attr in _STDLIB_GLOBAL_DRAWS:
+            return f"global-state draw random.{attr}()"
+        if mod == "numpy.random" and attr in _NUMPY_GLOBAL_DRAWS:
+            return f"global-state draw numpy.random.{attr}()"
+        if target in ("numpy.random.default_rng", "random.Random"):
+            if not node.args and not node.keywords:
+                return f"unseeded {target}()"
+        return None
 
 
 def _is_bus_emit(node: ast.AST) -> bool:

@@ -1,0 +1,18 @@
+"""Sim entry point (repro.core.protocol): reaches the helpers cross-file.
+
+This module itself is in a DET002 sim scope, so DET005 skips it; what
+the project lane asserts is the *edge*: build_round -> helpers.jitter /
+helpers.pick puts the hazard findings in helpers.py.
+"""
+
+from repro import helpers
+
+
+class PathBuilder:
+    def __init__(self, overlay):
+        self.overlay = overlay
+
+    def build_round(self, candidates):
+        noise = helpers.jitter()
+        chosen = helpers.pick(candidates)
+        return chosen, noise + helpers.pure_weight(len(candidates))

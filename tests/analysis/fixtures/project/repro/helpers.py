@@ -1,0 +1,27 @@
+"""Helpers living OUTSIDE the sim scopes (repro.helpers).
+
+DET002 cannot see these lexically; DET005 flags the hazards because the
+sim entry point in core/protocol.py reaches them through the call graph.
+Also hosts the ambient state the CONC fixtures exercise.
+"""
+
+import random
+import time
+
+# Module-level mutable state (CONC002 target when worker-reachable).
+RESULT_CACHE = {}
+
+# Fork-hazardous ambient handle (CONC001 target when worker-reachable).
+AUDIT_LOG = open("/tmp/fixture-audit.log", "w")
+
+
+def jitter():
+    return time.time() % 1.0  # DET005: reached from build_round
+
+
+def pick(candidates):
+    return random.choice(candidates)  # DET005 (+DET001 per-file)
+
+
+def pure_weight(x):
+    return x * 0.5  # deterministic: no finding

@@ -1,0 +1,35 @@
+"""Pool orchestration (repro.runner): the CONC001/CONC002 exercises.
+
+``work`` and ``read_audit`` become worker entry points because they are
+submitted to the executor; ``work`` then mutates cross-module state
+(CONC002) and ``read_audit`` reaches the ambient file handle (CONC001).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.helpers import AUDIT_LOG, RESULT_CACHE
+
+
+def work(job):
+    value = job * 2
+    RESULT_CACHE[job] = value  # CONC002: worker-reachable global write
+    return value
+
+
+def read_audit(job):
+    AUDIT_LOG.write(f"{job}\n")  # the hazardous ambient reach
+    return job
+
+
+def launch(jobs):
+    pool = ProcessPoolExecutor()
+    futures = [pool.submit(work, j) for j in jobs]
+    futures.append(pool.submit(read_audit, 0))  # CONC001: reaches AUDIT_LOG
+    futures.append(pool.submit(lambda: -1))  # CONC001: lambda
+    return futures
+
+
+def launch_quiet(jobs, pool):
+    # Suppression demo: the invariant (spawn start method + worker
+    # re-opens the log) is asserted at the call site.
+    return pool.submit(read_audit, jobs)  # repro: noqa-CONC001

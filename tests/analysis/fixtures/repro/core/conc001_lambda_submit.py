@@ -1,0 +1,21 @@
+"""CONC001 fixture (lexical mode): lambdas handed to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda j=j: j * 2) for j in jobs]  # CONC001
+    return futures
+
+
+def fan_out_map(executor, jobs):
+    return list(executor.map(lambda j: j + 1, jobs))  # CONC001
+
+
+def ok_top_level(pool, jobs):
+    return [pool.submit(double, j) for j in jobs]  # fine: top-level callable
+
+
+def double(j):
+    return j * 2

@@ -1,0 +1,36 @@
+"""CONC003 fixture: blocking calls inside async def bodies."""
+
+import subprocess
+import time
+from time import sleep
+
+
+async def handle_connection(sock):
+    time.sleep(0.1)  # CONC003
+    sleep(0.5)  # CONC003: aliased time.sleep
+    data = sock.recv(4096)  # CONC003: sync socket read
+    return data
+
+
+async def spawn_probe(cmd):
+    return subprocess.run(cmd)  # CONC003
+
+
+async def read_config(path):
+    with open(path) as fh:  # CONC003: sync file I/O on the loop
+        return fh.read()
+
+
+async def shutdown_grace():
+    time.sleep(0)  # repro: noqa-CONC003 (demonstrates suppression)
+
+
+def sync_helper_ok():
+    time.sleep(0.1)  # fine: not an async body
+    return subprocess.run(["true"])
+
+
+async def async_native_ok():
+    import asyncio
+
+    await asyncio.sleep(0.1)  # the sanctioned form

@@ -21,10 +21,15 @@ class TestRegistry:
     def test_expected_rule_set(self):
         assert rule_codes() == [
             "ARCH001",
+            "ARCH002",
+            "CONC001",
+            "CONC002",
+            "CONC003",
             "DET001",
             "DET002",
             "DET003",
             "DET004",
+            "DET005",
             "PERF001",
             "PERF002",
             "PERF003",

@@ -79,6 +79,76 @@ def test_seeded_mutation_is_caught(tmp_path):
 
 
 @pytest.mark.lint
+def test_seeded_async_blocking_mutation_is_caught(tmp_path):
+    # Same acceptance pattern for the concurrency lane: graft an async def
+    # with a synchronous time.sleep onto real production code and demand a
+    # CONC003 finding at exactly the injected line.
+    original = SRC / "repro" / "core" / "routing.py"
+    source = original.read_text()
+    base_len = source.count("\n")
+
+    poison = (
+        "\n\nasync def _mutated_drain(queue):\n"
+        "    import time\n"
+        "    time.sleep(0.05)\n"
+        "    return queue\n"
+    )
+    # Trailing newline in the original: blanks are +1/+2, async def +3,
+    # import +4, the blocking sleep +5.
+    sleep_line = base_len + 5
+
+    scratch = tmp_path / "repro" / "core"
+    scratch.mkdir(parents=True)
+    target = scratch / "routing.py"
+    target.write_text(source + poison)
+
+    proc = run_lint(str(target), "--no-baseline", "--no-cache")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert f"routing.py:{sleep_line}" in proc.stdout
+    assert "CONC003" in proc.stdout
+
+
+@pytest.mark.lint
+def test_seeded_unpicklable_submission_mutation_is_caught(tmp_path):
+    # Whole-program lane: a top-level worker that reads a module-level file
+    # handle is submitted to a ProcessPoolExecutor.  The hazard is the
+    # *reach* (worker -> ambient handle), not anything lexical at the
+    # submit site, so this only trips with the project call graph built.
+    original = SRC / "repro" / "core" / "routing.py"
+    source = original.read_text()
+    base_len = source.count("\n")
+
+    poison = (
+        "\n\nfrom concurrent.futures import ProcessPoolExecutor"
+        " as _MutatedPool\n"
+        '_MUTATED_TRACE = open("trace.log", "a")\n'
+        "\n"
+        "\ndef _mutated_worker(job):\n"
+        '    _MUTATED_TRACE.write(f"{job}\\n")\n'
+        "    return job\n"
+        "\n"
+        "\ndef _mutated_fanout(jobs):\n"
+        "    pool = _MutatedPool()\n"
+        "    return [pool.submit(_mutated_worker, j) for j in jobs]\n"
+    )
+    # Blanks +1/+2, import +3, open() +4, blank +5/+6, def worker +7,
+    # write +8, return +9, blanks +10/+11, def fanout +12, ctor +13,
+    # the submit comprehension +14.
+    submit_line = base_len + 14
+
+    scratch = tmp_path / "repro" / "core"
+    scratch.mkdir(parents=True)
+    target = scratch / "routing.py"
+    target.write_text(source + poison)
+
+    proc = run_lint(str(target), "--no-baseline", "--no-cache")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert f"routing.py:{submit_line}" in proc.stdout
+    assert "CONC001" in proc.stdout
+    assert "_MUTATED_TRACE" in proc.stdout
+
+
+@pytest.mark.lint
 def test_unmutated_copy_of_same_file_is_clean(tmp_path):
     # Control for the mutation test: the pristine copy lints clean, so the
     # failures above are attributable to the injected lines alone.

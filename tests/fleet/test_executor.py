@@ -96,7 +96,9 @@ class TestSerial:
             tiny_spec(seeds=(0,), strategies=("random",)),
             store,
             n_jobs=1,
-            worker=flaky,
+            # n_jobs=1 runs the worker in-process: nothing is pickled, so a
+            # closure is safe here (and is what lets the test count calls).
+            worker=flaky,  # repro: noqa-CONC001 (serial path, no process boundary)
             retry=FAST_RETRY,
         )
         assert outcome.converged
