@@ -206,8 +206,21 @@ class WorldArrays:
         self.st_child_edge = np.zeros(0, dtype=np.int64)
         self.st_child_not_pred = np.zeros(0, dtype=bool)
         self.child_pos = np.zeros(0, dtype=np.int64)
+        #: Unclipped per-state child offsets (``st_offsets[s]`` is the
+        #: first flat-child index of state ``s``; length ``n_edges+1``).
+        #: The sharded engine partitions the state axis by bisecting
+        #: this for balanced per-worker child counts.
+        self.st_offsets = np.zeros(1, dtype=np.int64)
         self._nbr_versions: Dict[int, int] = {}
         self._alpha_versions: Dict[int, int] = {}
+        #: O(1) staleness token: (overlay.topology_version, overlay
+        #: ``_next_id``, node count) at the last rebuild, trusted only
+        #: when every snapshot node's ``_topology_listener`` was wired
+        #: to this overlay (``_wired_snapshot``) — unwired nodes mutate
+        #: without bumping the aggregate counter, so the per-node scan
+        #: stays the authoritative fallback.
+        self._topo_token: Optional[tuple] = None
+        self._wired_snapshot = False
         self._perf = PERF.counters
 
     # -- freshness ---------------------------------------------------------
@@ -221,7 +234,18 @@ class WorldArrays:
     def _topology_stale(self) -> bool:
         if self.indptr is None:
             return True
-        nodes = self.overlay.nodes
+        overlay = self.overlay
+        if self._wired_snapshot and self._topo_token == (
+            getattr(overlay, "topology_version", None),
+            getattr(overlay, "_next_id", None),
+            len(overlay.nodes),
+        ):
+            # Every snapshot node pushes neighbour-set changes into the
+            # overlay's aggregate counter, node creation bumps
+            # ``_next_id`` and removal shrinks ``nodes`` — so three
+            # O(1) compares cover everything the scan below detects.
+            return False
+        nodes = overlay.nodes
         vers = self._nbr_versions
         if len(nodes) != len(vers):
             return True
@@ -268,6 +292,15 @@ class WorldArrays:
         self.owner_flat = owner_flat
         self.nbr_lists = nbr_lists
         self._nbr_versions = vers
+        cb = getattr(self.overlay, "_on_topology_change", None)
+        self._wired_snapshot = cb is not None and all(
+            node._topology_listener == cb for node in nodes.values()
+        )
+        self._topo_token = (
+            getattr(self.overlay, "topology_version", None),
+            getattr(self.overlay, "_next_id", None),
+            len(nodes),
+        )
         self._build_state_structure()
         # Alpha slices are laid out per edge; a new layout means every
         # slice must be re-read.
@@ -285,6 +318,7 @@ class WorldArrays:
             self.st_child_edge = np.zeros(0, dtype=np.int64)
             self.st_child_not_pred = np.zeros(0, dtype=bool)
             self.child_pos = np.zeros(0, dtype=np.int64)
+            self.st_offsets = np.zeros(1, dtype=np.int64)
             return
         deg = np.diff(self.indptr)
         head = self.nbr_flat
@@ -294,6 +328,7 @@ class WorldArrays:
         ).astype(np.int64, copy=False)
         total = int(offsets[-1])
         self.st_counts = st_counts
+        self.st_offsets = offsets
         # reduceat needs in-bounds starts; empty trailing segments are
         # clipped here and their garbage results overwritten by the dead
         # mask downstream.
@@ -337,6 +372,92 @@ class WorldArrays:
         if touched:
             self.alpha_generation += 1
             self._perf.array_rebuilds += 1
+
+
+def spne_state_validity(
+    valid0: np.ndarray,
+    child_edge: np.ndarray,
+    not_pred_mask: np.ndarray,
+    st_counts: np.ndarray,
+    red_idx: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """State-level candidate validity for one contiguous state range.
+
+    ``child_edge``/``not_pred_mask``/``red_idx`` describe the range's
+    *local* child axis (``red_idx`` indexes into it); ``valid0`` is the
+    full edge-axis liveness row the children gather from.  Returns the
+    per-child ``st_valid`` mask and per-state ``st_dead`` mask.
+
+    This is the single code path for both the whole-axis planner build
+    and the sharded per-worker build: ``logical_or.reduceat`` is
+    order-insensitive within a segment and segments never straddle a
+    range boundary, so any partition of the state axis produces the
+    same masks the whole-axis call produces.
+    """
+    if child_edge.size == 0:
+        return np.zeros(0, dtype=bool), np.ones(st_counts.size, dtype=bool)
+    v0c = valid0[child_edge]
+    not_pred = v0c & not_pred_mask
+    # Scalar fallback rule, per state: exclude the predecessor
+    # unless that empties the candidate set.
+    has_alt = np.logical_or.reduceat(not_pred, red_idx)
+    use_filtered = np.repeat(has_alt, st_counts)
+    st_valid = np.where(use_filtered, not_pred, v0c)
+    has_any = np.logical_or.reduceat(st_valid, red_idx)
+    has_any[st_counts == 0] = False
+    return st_valid, ~has_any
+
+
+def spne_level_step(
+    base_child: np.ndarray,
+    prev_sum: np.ndarray,
+    prev_n: np.ndarray,
+    child_edge: np.ndarray,
+    st_counts: np.ndarray,
+    red_idx: np.ndarray,
+    child_pos: np.ndarray,
+    st_valid: np.ndarray,
+    st_dead: np.ndarray,
+    out_sum: np.ndarray,
+    out_n: np.ndarray,
+) -> None:
+    """One backward-induction level for one contiguous state range.
+
+    ``prev_sum``/``prev_n`` are the *complete* previous level (children
+    may live in any state range); everything else is local to the range
+    (``base_child`` is the child-axis base quality, already gathered by
+    the caller; ``red_idx``/``child_pos`` index the local child axis).
+    Results are written into ``out_sum``/``out_n`` (length = states in
+    the range) — for the sharded engine these are shared-memory views.
+
+    Bitwise range-decomposition safety: the arithmetic is element-wise,
+    ``maximum``/``minimum.reduceat`` are order-insensitive per segment,
+    and segments never straddle a range boundary; the only range-
+    dependent values are the garbage rows of empty trailing segments,
+    which the ``st_dead`` overwrite zeroes either way.
+    """
+    if child_edge.size == 0:
+        out_sum[:] = 0.0
+        out_n[:] = 0
+        return
+    total_sum = base_child + prev_sum[child_edge]
+    total_n = 1 + prev_n[child_edge]
+    mean = total_sum / total_n
+    # Invalid children get a sentinel below every reachable mean
+    # (means are >= 0; the scalar loop's initial best is -1.0).
+    masked = np.where(st_valid, mean, -2.0)
+    seg_max = np.maximum.reduceat(masked, red_idx)
+    # First index attaining the segment max == the scalar loop's
+    # strict-`>` first winner (children are in ascending-id,
+    # i.e. scalar candidate, order).
+    at_max = masked == np.repeat(seg_max, st_counts)
+    pos = np.where(at_max, child_pos, child_edge.size)
+    first = np.minimum.reduceat(pos, red_idx)
+    sel = np.minimum(first, child_edge.size - 1)
+    out_sum[:] = total_sum[sel]
+    out_n[:] = total_n[sel]
+    out_sum[st_dead] = 0.0
+    out_n[st_dead] = 0
 
 
 class Frontier:
@@ -554,20 +675,13 @@ class BatchPlanner:
         if fr.st_valid is not None:
             return
         world = self.world
-        if world.st_child_edge.size:
-            v0c = fr.valid0[world.st_child_edge]
-            not_pred = v0c & world.st_child_not_pred
-            # Scalar fallback rule, per state: exclude the predecessor
-            # unless that empties the candidate set.
-            has_alt = np.logical_or.reduceat(not_pred, world.st_red_idx)
-            use_filtered = np.repeat(has_alt, world.st_counts)
-            fr.st_valid = np.where(use_filtered, not_pred, v0c)
-            has_any = np.logical_or.reduceat(fr.st_valid, world.st_red_idx)
-            has_any[world.st_counts == 0] = False
-            fr.st_dead = ~has_any
-        else:
-            fr.st_valid = np.zeros(0, dtype=bool)
-            fr.st_dead = np.ones(world.n_edges, dtype=bool)
+        fr.st_valid, fr.st_dead = spne_state_validity(
+            fr.valid0,
+            world.st_child_edge,
+            world.st_child_not_pred,
+            world.st_counts,
+            world.st_red_idx,
+        )
 
     # -- quality -----------------------------------------------------------
     def _ensure_q_node(self, fr: Frontier, context: "ForwardingContext", node_id: int) -> None:
@@ -765,7 +879,6 @@ class BatchPlanner:
         for state ``e`` with ``d`` edges of lookahead left."""
         world = self.world
         n_edges = world.n_edges
-        self._ensure_state_valid(fr)
         tok = (
             fr.round_index,
             world.alpha_generation,
@@ -773,8 +886,7 @@ class BatchPlanner:
             position_aware,
         )
         if fr.levels_sum is None or fr.levels_token != tok:
-            fr.levels_sum = [np.zeros(n_edges, dtype=np.float64)]
-            fr.levels_n = [np.zeros(n_edges, dtype=np.int64)]
+            self._reset_levels(fr)
             fr.levels_token = tok
         base_q = fr.q_child if position_aware else fr.q_flat
         perf = self._perf
@@ -784,35 +896,48 @@ class BatchPlanner:
                 fr.levels_sum.append(fr.levels_sum[0])
                 fr.levels_n.append(fr.levels_n[0])
                 continue
-            prev_sum = fr.levels_sum[-1]
-            prev_n = fr.levels_n[-1]
-            if position_aware:
-                # q_child is already laid out on the flat child axis.
-                total_sum = base_q + prev_sum[child_edge]
-            else:
-                total_sum = base_q[child_edge] + prev_sum[child_edge]
-            total_n = 1 + prev_n[child_edge]
-            mean = total_sum / total_n
-            # Invalid children get a sentinel below every reachable mean
-            # (means are >= 0; the scalar loop's initial best is -1.0).
-            masked = np.where(fr.st_valid, mean, -2.0)
-            seg_max = np.maximum.reduceat(masked, world.st_red_idx)
-            # First index attaining the segment max == the scalar loop's
-            # strict-`>` first winner (children are in ascending-id,
-            # i.e. scalar candidate, order).
-            at_max = masked == np.repeat(seg_max, world.st_counts)
-            pos = np.where(at_max, world.child_pos, child_edge.size)
-            first = np.minimum.reduceat(pos, world.st_red_idx)
-            sel = np.minimum(first, child_edge.size - 1)
-            new_sum = total_sum[sel]
-            new_n = total_n[sel]
-            dead = fr.st_dead
-            new_sum[dead] = 0.0
-            new_n[dead] = 0
+            new_sum, new_n = self._level_step(fr, base_q, position_aware)
             fr.levels_sum.append(new_sum)
             fr.levels_n.append(new_n)
             perf.kernel_calls += 1
             perf.kernel_batch_elements += int(child_edge.size)
+
+    def _reset_levels(self, fr: Frontier) -> None:
+        """Start a fresh level stack (level 0 = all zeros).  Overridden
+        by the sharded planner to place levels in shared memory."""
+        n_edges = self.world.n_edges
+        fr.levels_sum = [np.zeros(n_edges, dtype=np.float64)]
+        fr.levels_n = [np.zeros(n_edges, dtype=np.int64)]
+
+    def _level_step(
+        self, fr: Frontier, base_q: np.ndarray, position_aware: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute the next level over the whole state axis.  The
+        sharded planner overrides this to fan the state ranges out to
+        shard workers; both paths run :func:`spne_level_step`, so they
+        are bitwise-identical by construction."""
+        self._ensure_state_valid(fr)
+        world = self.world
+        child_edge = world.st_child_edge
+        # q_child is already laid out on the flat child axis; the
+        # per-edge row gathers through the child table first.
+        base_child = base_q if position_aware else base_q[child_edge]
+        new_sum = np.empty(world.n_edges, dtype=np.float64)
+        new_n = np.empty(world.n_edges, dtype=np.int64)
+        spne_level_step(
+            base_child,
+            fr.levels_sum[-1],
+            fr.levels_n[-1],
+            child_edge,
+            world.st_counts,
+            world.st_red_idx,
+            world.child_pos,
+            fr.st_valid,
+            fr.st_dead,
+            new_sum,
+            new_n,
+        )
+        return new_sum, new_n
 
     # -- candidates & costs -------------------------------------------------
     def _candidates(

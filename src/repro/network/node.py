@@ -125,6 +125,14 @@ class PeerNode:
     #: derived arrays are stale — the versions never wrap or reset.
     availability_version: int = field(default=0, repr=False)
     neighbors_version: int = field(default=0, repr=False)
+    #: Optional push notification for neighbour-*set* changes, fired on
+    #: every ``neighbors_version`` bump.  :class:`repro.network.overlay.
+    #: Overlay` wires this to its aggregate ``topology_version`` so
+    #: array-backed views can answer "did any neighbour set change?" in
+    #: O(1) instead of scanning every node's ``neighbors_version``.
+    _topology_listener: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
     #: This thread's plain counter instance, bound once at construction —
     #: ``availability_vector`` sits on the edge-scoring hot path and must
     #: not pay the ``PERF`` facade's thread-local indirection per call.
@@ -195,6 +203,11 @@ class PeerNode:
         self._avail_dirty = True
         self.availability_version += 1
 
+    def _bump_neighbors_version(self) -> None:
+        self.neighbors_version += 1
+        if self._topology_listener is not None:
+            self._topology_listener()
+
     def _adopt_view(self, view: NeighborView) -> NeighborView:
         view._on_change = self._invalidate_availability
         return view
@@ -207,7 +220,7 @@ class PeerNode:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate neighbour ids")
         self.neighbors = {i: self._adopt_view(NeighborView(node_id=i)) for i in ids}
-        self.neighbors_version += 1
+        self._bump_neighbors_version()
         self._invalidate_availability()
 
     def add_neighbor(self, node_id: int, initial_session_time: float = 0.0) -> None:
@@ -219,14 +232,14 @@ class PeerNode:
         self.neighbors[node_id] = self._adopt_view(
             NeighborView(node_id=node_id, session_time=initial_session_time)
         )
-        self.neighbors_version += 1
+        self._bump_neighbors_version()
         self._invalidate_availability()
 
     def remove_neighbor(self, node_id: int) -> None:
         if node_id not in self.neighbors:
             raise KeyError(f"{node_id} is not a neighbour of {self.node_id}")
         del self.neighbors[node_id]
-        self.neighbors_version += 1
+        self._bump_neighbors_version()
         self._invalidate_availability()
 
     def neighbor_ids(self) -> List[int]:

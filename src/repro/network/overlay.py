@@ -43,10 +43,27 @@ class Overlay:
     #: mid-round churn (e.g. an injected forwarder crash) without
     #: re-reading the whole online set.
     liveness_version: int = field(default=0, repr=False)
+    #: Monotonic counter advanced whenever *any* member node's neighbour
+    #: set changes (pushed by ``PeerNode._topology_listener``, wired at
+    #: :meth:`spawn_node`).  Lets array-backed views answer "is my CSR
+    #: topology stale?" in O(1); nodes inserted into ``nodes`` without
+    #: going through :meth:`spawn_node` are not wired, which observers
+    #: must detect (:meth:`repro.core.kernels.WorldArrays` falls back to
+    #: the per-node version scan unless every snapshot node was wired).
+    topology_version: int = field(default=0, repr=False)
+    #: Sorted online-id array cache backing :meth:`sample_peers`
+    #: (rebuilt when ``liveness_version`` moves).
+    _online_array: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _online_array_version: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self):
         if self.degree < 1:
             raise ValueError(f"degree must be >= 1, got {self.degree}")
+
+    def _on_topology_change(self) -> None:
+        self.topology_version += 1
 
     # -- population construction ----------------------------------------
     def spawn_node(
@@ -61,6 +78,7 @@ class Overlay:
             malicious=malicious,
             participation_cost=participation_cost,
         )
+        node._topology_listener = self._on_topology_change
         self._next_id += 1
         self.nodes[node.node_id] = node
         return node
@@ -171,11 +189,41 @@ class Overlay:
         degrade (the prober retries next round).
         """
         banned = set(exclude or ())
-        pool = [i for i in sorted(self._online) if i not in banned]
-        if len(pool) < k:
-            raise ValueError(f"cannot sample {k} peers from pool of {len(pool)}")
-        picked = self.rng.choice(pool, size=k, replace=False)
-        return [int(i) for i in picked]
+        arr = self._sorted_online()
+        if banned:
+            # Same pool the listcomp built (sorted online minus banned),
+            # assembled without the O(n) Python loop: locate each banned
+            # id by bisection and mask it out.
+            ban = np.fromiter(sorted(banned), dtype=np.int64, count=len(banned))
+            pos = np.searchsorted(arr, ban)
+            in_range = pos < arr.size
+            pos = pos[in_range]
+            present = arr[pos] == ban[in_range]
+            if present.any():
+                keep = np.ones(arr.size, dtype=bool)
+                keep[pos[present]] = False
+                arr = arr[keep]
+        if arr.size < k:
+            raise ValueError(f"cannot sample {k} peers from pool of {arr.size}")
+        # Generator.choice converts a Python list to exactly this int64
+        # array before drawing, so handing it the array directly consumes
+        # identical entropy and returns identical picks.
+        picked = self.rng.choice(arr, size=k, replace=False)
+        return picked.tolist()
+
+    def _sorted_online(self) -> np.ndarray:
+        """Sorted online ids as an int64 array, cached per liveness epoch."""
+        if (
+            self._online_array is None
+            or self._online_array_version != self.liveness_version
+        ):
+            arr = np.fromiter(
+                self._online, dtype=np.int64, count=len(self._online)
+            )
+            arr.sort()
+            self._online_array = arr
+            self._online_array_version = self.liveness_version
+        return self._online_array
 
     def random_online_peer(self, exclude: Optional[Iterable[int]] = None) -> Optional[int]:
         """One random online peer, or None if no candidate exists."""

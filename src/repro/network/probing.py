@@ -164,6 +164,43 @@ def run_probe_round(
     return {"alive": alive, "dead": dead, "replaced": replaced, "timed_out": timed_out}
 
 
+def fast_full_sweep(overlay: Overlay, period: float, now: float) -> "Optional[dict]":
+    """Whole-population probe sweep for the steady state: everyone
+    online, every neighbour set at target degree.
+
+    Under those preconditions every probe of every node succeeds, no
+    neighbour is replaced, no top-up runs and **no RNG is drawn** — the
+    sweep reduces to "credit every neighbour view by ``period`` and
+    invalidate each node's availability cache once", which is exactly
+    what :func:`run_probe_round`'s fast path does per node, minus the
+    per-node staging.  Returns the sweep totals, or ``None`` when the
+    preconditions do not hold (caller falls back to the per-node loop).
+    Eligibility is checked over the whole population *before* any
+    counter moves, so a ``None`` return leaves the overlay untouched.
+    """
+    nodes = overlay.nodes
+    if not nodes or overlay.online_count() != len(nodes):
+        return None
+    for node in nodes.values():
+        if len(node.neighbors) < node.degree:
+            return None
+    alive = 0
+    for node in nodes.values():
+        views = node.neighbors.values()
+        for view in views:
+            view._session_time += period
+            view.last_seen = now
+        alive += len(views)
+        node._invalidate_availability()
+    return {
+        "alive": alive,
+        "dead": 0,
+        "replaced": 0,
+        "timed_out": 0,
+        "probed": len(nodes),
+    }
+
+
 @dataclass
 class ActiveProber:
     """Periodic probing process for the whole population.
@@ -189,6 +226,10 @@ class ActiveProber:
     #: tracer one ``probe.sweep`` span around the whole sweep.
     bus: "Optional[EventBus]" = None
     tracer: object = NULL_TRACER
+    #: Notified with ``period`` after each :func:`fast_full_sweep` that
+    #: actually ran — the sharded engine mirrors the uniform credit into
+    #: its shared session matrix without re-reading any node object.
+    sweep_listener: "Callable[[float], None] | None" = None
     rounds_run: int = 0
 
     def __post_init__(self):
@@ -204,29 +245,41 @@ class ActiveProber:
             with self.tracer.span("probe.sweep"):
                 if self.on_period is not None:
                     self.on_period()
-                totals = {"alive": 0, "dead": 0, "replaced": 0, "timed_out": 0}
-                probed = 0
-                # One liveness snapshot for the whole sweep: the sweep is
-                # synchronous (no yields), so membership only changes
-                # through the sweep's own replacements — and those are
-                # drawn from the online set, never flipping a mask bit.
-                online_mask = self.overlay.online_mask(self.overlay.id_space())
-                for node_id in self.overlay.online_ids():
-                    stats = run_probe_round(
-                        self.overlay,
-                        node_id,
-                        self.period,
-                        self.rng,
-                        env.now,
-                        discovery=self.discovery,
-                        fault_injector=self.fault_injector,
-                        retry=self.retry,
-                        bus=self.bus,
-                        online_mask=online_mask,
+                swept = None
+                if self.fault_injector is None and self.discovery is None:
+                    swept = fast_full_sweep(self.overlay, self.period, env.now)
+                if swept is not None:
+                    probed = swept.pop("probed")
+                    totals = swept
+                    if self.sweep_listener is not None:
+                        self.sweep_listener(self.period)
+                else:
+                    totals = {"alive": 0, "dead": 0, "replaced": 0, "timed_out": 0}
+                    probed = 0
+                    # One liveness snapshot for the whole sweep: the sweep
+                    # is synchronous (no yields), so membership only
+                    # changes through the sweep's own replacements — and
+                    # those are drawn from the online set, never flipping
+                    # a mask bit.
+                    online_mask = self.overlay.online_mask(
+                        self.overlay.id_space()
                     )
-                    for key in totals:
-                        totals[key] += stats[key]
-                    probed += 1
+                    for node_id in self.overlay.online_ids():
+                        stats = run_probe_round(
+                            self.overlay,
+                            node_id,
+                            self.period,
+                            self.rng,
+                            env.now,
+                            discovery=self.discovery,
+                            fault_injector=self.fault_injector,
+                            retry=self.retry,
+                            bus=self.bus,
+                            online_mask=online_mask,
+                        )
+                        for key in totals:
+                            totals[key] += stats[key]
+                        probed += 1
                 if self.bus is not None:
                     self.bus.emit("probe.sweep", probed=probed, **totals)
             self.rounds_run += 1

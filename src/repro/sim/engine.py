@@ -41,6 +41,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional per-step hook (e.g. the sharded engine's SIGINT
+        #: latch poll).  May raise to abort the run — the exception
+        #: propagates out of :meth:`run` so the caller's cleanup runs.
+        self.interrupt_check: "Optional[Any]" = None
 
     # -- clock ----------------------------------------------------------
     @property
@@ -125,8 +129,13 @@ class Environment:
             stop.callbacks.append(self._stop_cb)
             self.schedule(stop, priority=URGENT, delay=at - self._now)
         try:
-            while True:
-                self.step()
+            if self.interrupt_check is None:
+                while True:
+                    self.step()
+            else:
+                while True:
+                    self.interrupt_check()
+                    self.step()
         except StopSimulation as exc:
             return exc.value
         except EmptySchedule:

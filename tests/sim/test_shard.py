@@ -1,0 +1,305 @@
+"""Unit tests for the sharded scenario engine's building blocks.
+
+The differential property suite (``tests/properties/
+test_shard_determinism.py``) pins the end-to-end seed -> result
+contract; these tests pin each mechanism in isolation: the hit table's
+bisect-equivalence, capacity policing, ledger balance round-trips,
+engine lifecycle hygiene (no leaked shared-memory segments, idempotent
+close) and the partition's determinism.
+"""
+
+import glob
+from bisect import bisect_left
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryProfile
+from repro.core.kernels import WorldArrays
+from repro.experiments.config import ExperimentConfig
+from repro.network.overlay import Overlay
+from repro.payment.ledger import Ledger
+from repro.sim.shard import (
+    HitTable,
+    ShardCapacityError,
+    ShardConfig,
+    ShardEngine,
+)
+
+
+def _overlay(n=24, degree=4, seed=9):
+    overlay = Overlay(rng=np.random.default_rng(seed), degree=degree)
+    overlay.bootstrap(n)
+    return overlay
+
+
+def _bisect_row(world, histories, cid):
+    """The single-process planner's numerator: one bisect_left count per
+    (node, neighbour) edge over the stored per-edge round lists."""
+    row = np.zeros(world.n_edges, dtype=np.int64)
+    for nid, lst in world.nbr_lists.items():
+        series = histories[nid]._edge_rounds.get(cid, {})
+        start = int(world.indptr[nid])
+        for j, succ in enumerate(lst):
+            rounds = series.get(succ, [])
+            row[start + j] = bisect_left(rounds, 1 << 60)
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Hit table
+# ---------------------------------------------------------------------------
+
+
+class TestHitTable:
+    def _table(self, overlay, max_cids=4):
+        world = WorldArrays(overlay)
+        world.ensure_fresh()
+        buf = np.zeros((max_cids, world.n_edges), dtype=np.int64)
+        return world, HitTable(world, buf, max_cids)
+
+    def test_rows_match_bisect_counts(self):
+        overlay = _overlay()
+        world, table = self._table(overlay)
+        histories = {nid: HistoryProfile(node_id=nid) for nid in overlay.nodes}
+        table.bind(histories)
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            nid = int(rng.choice(list(overlay.nodes)))
+            lst = world.nbr_lists[nid]
+            if not lst:
+                continue
+            succ = int(rng.choice(lst))
+            cid = int(rng.integers(0, 3))
+            round_index = int(rng.integers(1, 40))
+            histories[nid].record(cid, round_index, predecessor=-1, successor=succ)
+            # Interleave queries so both the materialise path and the
+            # write-through path are exercised.
+            if rng.random() < 0.3:
+                got = table.row(cid)
+                expected = _bisect_row(world, histories, cid)
+                np.testing.assert_array_equal(got, expected)
+        for cid in range(3):
+            np.testing.assert_array_equal(
+                table.row(cid), _bisect_row(world, histories, cid)
+            )
+
+    def test_forget_zeroes_and_rebuilds(self):
+        overlay = _overlay()
+        world, table = self._table(overlay)
+        histories = {nid: HistoryProfile(node_id=nid) for nid in overlay.nodes}
+        table.bind(histories)
+        nid = next(iter(world.nbr_lists))
+        succ = world.nbr_lists[nid][0]
+        histories[nid].record(7, 1, predecessor=-1, successor=succ)
+        assert table.row(7).sum() == 1
+        histories[nid].forget_series(7)
+        np.testing.assert_array_equal(table.row(7), _bisect_row(world, histories, 7))
+        assert table.row(7).sum() == 0
+
+    def test_slot_eviction_keeps_counts_exact(self):
+        overlay = _overlay()
+        world, table = self._table(overlay, max_cids=2)
+        histories = {nid: HistoryProfile(node_id=nid) for nid in overlay.nodes}
+        table.bind(histories)
+        nid = next(iter(world.nbr_lists))
+        succ = world.nbr_lists[nid][0]
+        for cid in range(5):  # more cids than slots
+            histories[nid].record(cid, 1 + cid, predecessor=-1, successor=succ)
+            assert table.row(cid).sum() == 1
+        # Re-querying an evicted cid rematerialises from the profiles.
+        np.testing.assert_array_equal(table.row(0), _bisect_row(world, histories, 0))
+
+    def test_rejects_bounded_histories(self):
+        overlay = _overlay()
+        _, table = self._table(overlay)
+        histories = {0: HistoryProfile(node_id=0, capacity=8)}
+        with pytest.raises(ValueError, match="append-only"):
+            table.bind(histories)
+
+    def test_bind_seeds_recorded_sets_from_existing_entries(self):
+        overlay = _overlay()
+        world, table = self._table(overlay)
+        histories = {nid: HistoryProfile(node_id=nid) for nid in overlay.nodes}
+        nid = next(iter(world.nbr_lists))
+        succ = world.nbr_lists[nid][0]
+        histories[nid].record(2, 5, predecessor=-1, successor=succ)  # pre-bind
+        table.bind(histories)
+        np.testing.assert_array_equal(table.row(2), _bisect_row(world, histories, 2))
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestShardConfig:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ShardConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardConfig(n_shards=65)
+        with pytest.raises(ValueError):
+            ShardConfig(slack=0.5)
+        ShardConfig(n_shards=64, slack=1.0)  # edge values are fine
+
+    def test_experiment_config_rejects_python_backend(self):
+        with pytest.raises(ValueError, match="numpy"):
+            ExperimentConfig(
+                n_nodes=24, n_pairs=4, total_transmissions=16,
+                backend="python", shard=ShardConfig(n_shards=2),
+            )
+
+    def test_experiment_config_rejects_position_aware(self):
+        with pytest.raises(ValueError, match="position"):
+            ExperimentConfig(
+                n_nodes=24, n_pairs=4, total_transmissions=16,
+                position_aware=True, shard=ShardConfig(n_shards=2),
+            )
+
+    def test_experiment_config_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="ShardConfig"):
+            ExperimentConfig(
+                n_nodes=24, n_pairs=4, total_transmissions=16, shard=2,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Ledger balance round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerBinding:
+    def test_bind_unbind_round_trip_is_exact(self):
+        ledger = Ledger()
+        for owner, bal in ((0, 10.125), (3, 0.1), (7, 1e-9)):
+            ledger.open_account(owner, bal)
+        store = np.zeros(16, dtype=np.float64)
+        ledger.bind_balances(store)
+        assert store[0] == 10.125 and store[3] == 0.1
+        ledger.transfer(0, 3, 2.5)  # arithmetic flows through the store
+        assert ledger.balance(0) == 7.625
+        ledger.unbind_balances()
+        assert ledger.balance(0) == 7.625 and ledger.balance(3) == 2.6
+        assert ledger.audit()
+        # Accounts opened while bound land in the store; after unbind
+        # they are plain attributes again.
+        ledger.bind_balances(store)
+        ledger.open_account(9, 4.0)
+        assert store[9] == 4.0
+        ledger.unbind_balances()
+        assert ledger.balance(9) == 4.0
+
+    def test_double_bind_rejected(self):
+        ledger = Ledger()
+        store = np.zeros(4, dtype=np.float64)
+        ledger.bind_balances(store)
+        with pytest.raises(RuntimeError):
+            ledger.bind_balances(store)
+
+    def test_owner_outside_store_rejected(self):
+        ledger = Ledger()
+        ledger.open_account(10, 1.0)
+        with pytest.raises(ValueError, match="outside"):
+            ledger.bind_balances(np.zeros(4, dtype=np.float64))
+
+
+# ---------------------------------------------------------------------------
+# Engine lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestEngineLifecycle:
+    def test_start_close_leaves_no_segments(self):
+        before = _shm_segments()
+        overlay = _overlay()
+        engine = ShardEngine(overlay, n_shards=2, seed=11)
+        engine.start()
+        assert _shm_segments() - before  # segments exist while running
+        engine.close()
+        engine.close()  # idempotent
+        assert _shm_segments() <= before
+
+    def test_close_detaches_object_layer(self):
+        overlay = _overlay()
+        engine = ShardEngine(overlay, n_shards=2, seed=11)
+        engine.start()
+        histories = {nid: HistoryProfile(node_id=nid) for nid in overlay.nodes}
+        engine.bind_histories(histories)
+        ledger = Ledger()
+        ledger.open_account(0, 5.0)
+        engine.bind_ledger(ledger)
+        engine.close()
+        # Every view must survive the unlink: balances, alpha, sinks.
+        assert ledger.balance(0) == 5.0
+        assert ledger.audit()
+        assert all(p.sink is None for p in histories.values())
+        float(engine.world.alpha_flat.sum())  # must not touch dead shm
+
+    def test_worker_counters_absorbed(self):
+        overlay = _overlay()
+        engine = ShardEngine(overlay, n_shards=2, seed=11)
+        engine.start()
+        engine.close()
+        assert isinstance(engine.worker_perf, dict)
+
+    def test_capacity_error_on_growth(self):
+        overlay = _overlay(n=24, degree=4)
+        engine = ShardEngine(overlay, n_shards=2, seed=11, slack=1.0)
+        engine.start()
+        try:
+            for _ in range(8):  # outgrow the zero-headroom reserve
+                node = overlay.spawn_node()
+                overlay.join(node.node_id, now=0.0)
+                node.set_neighbors(
+                    overlay.sample_peers(4, exclude={node.node_id})
+                )
+            with pytest.raises(ShardCapacityError):
+                engine.world.ensure_fresh()
+        finally:
+            engine.close()
+
+    def test_double_start_rejected(self):
+        overlay = _overlay()
+        engine = ShardEngine(overlay, n_shards=1, seed=3)
+        engine.start()
+        try:
+            with pytest.raises(RuntimeError):
+                engine.start()
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Partition
+# ---------------------------------------------------------------------------
+
+
+class TestPartition:
+    def test_partition_covers_and_is_deterministic(self):
+        overlay = _overlay(n=40, degree=5)
+        for k in (1, 2, 3, 4, 7):
+            engine = ShardEngine(overlay, n_shards=k, seed=1)
+            world = engine.world
+            world.ensure_fresh()
+            n_children = int(world.st_child_edge.size)
+            bounds = engine._partition(world.n_edges, n_children)
+            assert bounds[0] == 0 and bounds[-1] == world.n_edges
+            assert all(b1 >= b0 for b0, b1 in zip(bounds, bounds[1:]))
+            assert bounds == engine._partition(world.n_edges, n_children)
+
+    def test_ranges_never_straddle_a_state(self):
+        overlay = _overlay(n=40, degree=5)
+        engine = ShardEngine(overlay, n_shards=4, seed=1)
+        world = engine.world
+        world.ensure_fresh()
+        bounds = engine._partition(world.n_edges, int(world.st_child_edge.size))
+        # Child ranges derived from state bounds tile [0, n_children):
+        # each shard owns exactly the children of its states.
+        edges = [int(world.st_offsets[b]) for b in bounds]
+        assert edges[0] == 0
+        assert edges[-1] == int(world.st_offsets[world.n_edges])
